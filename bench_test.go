@@ -1,0 +1,154 @@
+// Benchmarks: one target per paper table/figure (driving the same harness
+// as cmd/viracocha-bench at reduced quick scale and reporting the key
+// virtual-time metric), plus microbenchmarks of the algorithmic substrates.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale paper reproductions are produced by `go run ./cmd/viracocha-bench`.
+package viracocha
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"viracocha/internal/bench"
+	"viracocha/internal/dataset"
+	"viracocha/internal/grid"
+	"viracocha/internal/iso"
+	"viracocha/internal/mesh"
+	"viracocha/internal/storage"
+	"viracocha/internal/vclock"
+	"viracocha/internal/vortex"
+)
+
+var quick = bench.Options{Scale: 1, Quick: true}
+
+// lastSeconds extracts the last row's last numeric cell — the headline
+// virtual-time number of a figure — for ReportMetric.
+func lastSeconds(tbl *bench.Table) float64 {
+	row := tbl.Rows[len(tbl.Rows)-1]
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(row[len(row)-1], "%"), 64)
+	return v
+}
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var metric float64
+	for i := 0; i < b.N; i++ {
+		metric = lastSeconds(e.Run(quick))
+	}
+	b.ReportMetric(metric, "virtual_s")
+}
+
+func BenchmarkTable1Datasets(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkFig6EngineIso(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7PropfanIso(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig8IsoLatency(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9EngineVortex(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10PropfanVortex(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11VortexPrefetch(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12VortexLatency(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13Pathlines(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14MarkovPrefetch(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15ComponentSplit(b *testing.B) { benchExperiment(b, "fig15") }
+
+func BenchmarkAblationReplacement(b *testing.B) { benchExperiment(b, "ablation-replacement") }
+func BenchmarkAblationPrefetch(b *testing.B)    { benchExperiment(b, "ablation-prefetch") }
+func BenchmarkAblationLoader(b *testing.B)      { benchExperiment(b, "ablation-loader") }
+func BenchmarkAblationGranularity(b *testing.B) { benchExperiment(b, "ablation-granularity") }
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the substrates (real wall time, not virtual).
+
+func BenchmarkMarchingTetrahedra(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m mesh.Mesh
+		iso.ExtractBlock(blk, "pressure", 500, &m)
+	}
+	b.ReportMetric(float64(blk.NumCells()), "cells/op")
+}
+
+func BenchmarkLambda2Field(b *testing.B) {
+	blk := dataset.Propfan().WithScale(2).Generate(0, 100)
+	vals := make([]float32, blk.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vortex.ComputeInto(blk, vals)
+	}
+	b.ReportMetric(float64(blk.NumNodes()), "nodes/op")
+}
+
+func BenchmarkPointLocation(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 5)
+	box := blk.Bounds()
+	c := box.Center()
+	var loc grid.CellLoc
+	hint := &loc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := blk.Locate(c, hint); !ok {
+			b.Fatal("locate failed")
+		}
+	}
+}
+
+func BenchmarkBlockEncodeDecode(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := storage.EncodeBlock(blk)
+		if _, err := storage.DecodeBlock(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVirtualClockHandoff(b *testing.B) {
+	// Cost of one produce/consume round trip through the virtual clock.
+	for i := 0; i < b.N; i++ {
+		v := vclock.NewVirtual()
+		q := vclock.NewQueue[int](v)
+		v.Go(func() {
+			for j := 0; j < 100; j++ {
+				q.Push(j)
+			}
+			q.Close()
+		})
+		v.Go(func() {
+			for {
+				if _, ok := q.Pop(); !ok {
+					return
+				}
+			}
+		})
+		v.Wait()
+	}
+}
+
+func BenchmarkMeshWeld(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 0)
+	var src mesh.Mesh
+	iso.ExtractBlock(blk, "pressure", 500, &src)
+	data := src.EncodeBinary()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := mesh.DecodeBinary(data)
+		m.Weld(1e-7)
+	}
+}
+
+func BenchmarkAblationCompression(b *testing.B) { benchExperiment(b, "ablation-compression") }
+func BenchmarkAblationCollective(b *testing.B)  { benchExperiment(b, "ablation-collective") }
+
+func BenchmarkAblationDistribution(b *testing.B) { benchExperiment(b, "ablation-distribution") }
+
+func BenchmarkInteractionSession(b *testing.B) { benchExperiment(b, "interaction") }
+
+func BenchmarkAblationProgressive(b *testing.B) { benchExperiment(b, "ablation-progressive") }

@@ -1,0 +1,75 @@
+// Command viracocha-bench regenerates the paper's tables and figures on the
+// simulated test bed. With no arguments it runs the full suite; -exp selects
+// single experiments.
+//
+//	viracocha-bench                 # everything, paper order
+//	viracocha-bench -exp fig6       # one figure
+//	viracocha-bench -list           # available experiment IDs
+//	viracocha-bench -quick -scale 1 # CI-sized run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"viracocha/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "run a single experiment by ID (e.g. fig6)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		scale  = flag.Int("scale", 2, "synthetic grid scale per axis")
+		quick  = flag.Bool("quick", false, "reduced worker counts and seeds")
+		datDir = flag.String("dat", "", "also write each table as <dir>/<id>.tsv (plot-ready)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Scale: *scale, Quick: *quick}
+	if *datDir != "" {
+		if err := os.MkdirAll(*datDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		tbl := e.Run(opts)
+		tbl.Render(os.Stdout)
+		if *datDir != "" {
+			f, err := os.Create(filepath.Join(*datDir, e.ID+".tsv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tbl.WriteTSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "[%s took %v wall time]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.All() {
+		run(e)
+	}
+}

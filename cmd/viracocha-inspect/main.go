@@ -1,0 +1,97 @@
+// Command viracocha-inspect prints the contents of Viracocha binary files:
+// block files written by viracocha-gen (.vrb) and mesh files written by
+// viracocha-client (-mesh).
+//
+//	viracocha-inspect data/engine/t000/b003.vrb
+//	viracocha-inspect -verbose result.mesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"viracocha/internal/mesh"
+	"viracocha/internal/storage"
+)
+
+func main() {
+	verbose := flag.Bool("verbose", false, "print per-field value ranges")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: viracocha-inspect [-verbose] <file>...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := inspect(path, *verbose); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func inspect(path string, verbose bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if b, err := storage.DecodeBlock(data); err == nil {
+		fmt.Printf("%s: block %s\n", path, b.ID)
+		fmt.Printf("  dims      %d × %d × %d nodes (%d cells)\n", b.NI, b.NJ, b.NK, b.NumCells())
+		fmt.Printf("  payload   %d bytes in memory, %d on disk\n", b.SizeBytes(), len(data))
+		box := b.Bounds()
+		fmt.Printf("  bounds    [%.4g %.4g %.4g] .. [%.4g %.4g %.4g]\n",
+			box.Min.X, box.Min.Y, box.Min.Z, box.Max.X, box.Max.Y, box.Max.Z)
+		names := make([]string, 0, len(b.Scalars))
+		for n := range b.Scalars {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("  fields    velocity")
+		for _, n := range names {
+			fmt.Printf(", %s", n)
+		}
+		fmt.Println()
+		if verbose {
+			for _, n := range names {
+				lo, hi := valueRange(b.Scalars[n])
+				fmt.Printf("  %-9s ∈ [%.6g, %.6g]\n", n, lo, hi)
+			}
+			lo, hi := valueRange(b.Velocity)
+			fmt.Printf("  |vel comp| ∈ [%.6g, %.6g]\n", lo, hi)
+		}
+		return nil
+	}
+	if m, err := mesh.DecodeBinary(data); err == nil {
+		fmt.Printf("%s: mesh\n", path)
+		fmt.Printf("  geometry  %d vertices, %d triangles\n", m.NumVertices(), m.NumTriangles())
+		fmt.Printf("  normals   %v, values %v\n", len(m.Normals) > 0, len(m.Values) > 0)
+		box := m.Bounds()
+		fmt.Printf("  bounds    [%.4g %.4g %.4g] .. [%.4g %.4g %.4g]\n",
+			box.Min.X, box.Min.Y, box.Min.Z, box.Max.X, box.Max.Y, box.Max.Z)
+		fmt.Printf("  area      %.6g\n", m.Area())
+		if verbose && len(m.Values) > 0 {
+			lo, hi := valueRange(m.Values)
+			fmt.Printf("  values    ∈ [%.6g, %.6g]\n", lo, hi)
+		}
+		return nil
+	}
+	return fmt.Errorf("not a Viracocha block or mesh file")
+}
+
+func valueRange(vs []float32) (lo, hi float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	lo, hi = float64(vs[0]), float64(vs[0])
+	for _, v := range vs {
+		if float64(v) < lo {
+			lo = float64(v)
+		}
+		if float64(v) > hi {
+			hi = float64(v)
+		}
+	}
+	return
+}

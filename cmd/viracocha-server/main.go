@@ -1,0 +1,65 @@
+// Command viracocha-server hosts a Viracocha post-processing back end: a
+// scheduler, a worker pool and the DMS, serving visualization clients over
+// TCP (see cmd/viracocha-client).
+//
+//	viracocha-server -addr :7447 -workers 8 -dataset engine -scale 2
+//	viracocha-server -dir /data/engine -dataset engine   # pre-generated files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"viracocha"
+	"viracocha/internal/dataset"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7447", "listen address")
+		workers   = flag.Int("workers", 8, "worker pool size")
+		datasets  = flag.String("dataset", "engine", "comma-separated data sets to host (engine, propfan, tiny)")
+		scale     = flag.Int("scale", 2, "synthetic grid scale")
+		dir       = flag.String("dir", "", "serve pre-generated block files from this directory instead of on-demand synthesis")
+		prefetch  = flag.String("prefetch", "obl", "system prefetcher: none, obl, onmiss, markov")
+		latency   = flag.Duration("storage-latency", 2*time.Millisecond, "simulated storage latency")
+		bandwidth = flag.Float64("storage-bandwidth", 0, "simulated storage bandwidth B/s (0 = unlimited)")
+	)
+	flag.Parse()
+
+	sys := viracocha.New(viracocha.Options{
+		Workers:          *workers,
+		Prefetcher:       *prefetch,
+		StorageLatency:   *latency,
+		StorageBandwidth: *bandwidth,
+	})
+	for _, name := range strings.Split(*datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if *dir != "" {
+			d, err := dataset.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.AddDatasetDir(d.WithScale(*scale), *dir); err != nil {
+				log.Fatal(err)
+			}
+		} else if _, err := sys.AddDataset(name, *scale); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hosting data set %q (scale %d)\n", name, *scale)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("viracocha-server: %d workers listening on %s\n", *workers, ln.Addr())
+	log.Fatal(sys.Serve(ln))
+}

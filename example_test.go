@@ -1,0 +1,57 @@
+package viracocha_test
+
+import (
+	"fmt"
+
+	"viracocha"
+)
+
+// ExampleSystem_Session shows the basic in-process workflow: build a system,
+// register a data set, and run an extraction command.
+func ExampleSystem_Session() {
+	sys := viracocha.New(viracocha.Options{Workers: 2})
+	if _, err := sys.AddDataset("tiny", 1); err != nil {
+		panic(err)
+	}
+	sys.Session(func(c *viracocha.Client) {
+		res, err := c.Run("iso.dataman", viracocha.Params(
+			"dataset", "tiny", "workers", "2", "iso", "0.5"))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("triangles:", res.Merged.NumTriangles() > 0)
+		fmt.Println("streamed partials:", res.Partials)
+	})
+	// Output:
+	// triangles: true
+	// streamed partials: 0
+}
+
+// ExampleSystem_Session_streaming shows a streaming command: the client
+// receives partial results before the final surface.
+func ExampleSystem_Session_streaming() {
+	sys := viracocha.New(viracocha.Options{Workers: 2})
+	if _, err := sys.AddDataset("tiny", 1); err != nil {
+		panic(err)
+	}
+	sys.Session(func(c *viracocha.Client) {
+		res, err := c.Run("iso.viewer", viracocha.Params(
+			"dataset", "tiny", "workers", "2", "iso", "0.5",
+			"ex", "-5", "ey", "0.5", "ez", "0.5", "granularity", "1"))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("got partials:", res.Partials > 0)
+		fmt.Println("latency below total:", res.Latency() <= res.Total())
+	})
+	// Output:
+	// got partials: true
+	// latency below total: true
+}
+
+// ExampleParams shows the parameter helper.
+func ExampleParams() {
+	p := viracocha.Params("dataset", "engine", "iso", "500")
+	fmt.Println(p["dataset"], p["iso"])
+	// Output: engine 500
+}

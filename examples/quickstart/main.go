@@ -1,0 +1,56 @@
+// Quickstart: build an in-process Viracocha system, extract a pressure
+// isosurface from the synthetic engine data set with four workers, and
+// write a rendering to quickstart.ppm.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"viracocha"
+	"viracocha/internal/mathx"
+	"viracocha/internal/render"
+)
+
+func main() {
+	// A system is a scheduler plus a pool of workers with DMS caching.
+	sys := viracocha.New(viracocha.Options{Workers: 4, Prefetcher: "obl"})
+	if _, err := sys.AddDataset("engine", 2); err != nil {
+		log.Fatal(err)
+	}
+
+	var result *viracocha.RunResult
+	sys.Session(func(c *viracocha.Client) {
+		var err error
+		result, err = c.Run("iso.dataman", viracocha.Params(
+			"dataset", "engine",
+			"workers", "4",
+			"field", "pressure",
+			"iso", "500",
+		))
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	m := result.Merged
+	m.Weld(1e-7)
+	m.ComputeNormals()
+	fmt.Printf("isosurface: %d triangles, %d vertices, area %.4f m²\n",
+		m.NumTriangles(), m.NumVertices(), m.Area())
+
+	img := render.NewImage(800, 600)
+	box := m.Bounds()
+	cam := render.LookAt(mathx.Vec3{X: -1, Y: -0.6, Z: -0.5}, box.Min, box.Max)
+	render.Draw(img, cam, m, render.Color{R: 0.35, G: 0.65, B: 0.95})
+	f, err := os.Create("quickstart.ppm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := img.WritePPM(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart.ppm")
+}

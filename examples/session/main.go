@@ -1,0 +1,99 @@
+// Session demonstrates the recorded-session workflow behind the paper's
+// user-acceptance argument: an explorative-analysis script (iso sweeps, a
+// vortex hunt) is replayed twice — once against a naive configuration
+// without data management or streaming, once against the full system — and
+// the per-interaction feedback times are compared. The script is also
+// written to disk so it can be replayed against a live server with
+// `viracocha-client -session`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"viracocha"
+	"viracocha/internal/core"
+	"viracocha/internal/session"
+)
+
+func main() {
+	script := &session.Script{
+		Name: "engine exploration",
+		Steps: []session.Step{
+			step("coarse look", "iso.viewer", "iso", "300"),
+			step("tighter iso", "iso.viewer", "iso", "500"),
+			step("vortex, strict", "vortex.streamed", "lambda2", "-4000"),
+			step("vortex, relaxed", "vortex.streamed", "lambda2", "-1000"),
+			step("final surface", "iso.viewer", "iso", "500"),
+		},
+	}
+	if data, err := script.Encode(); err == nil {
+		if err := os.WriteFile("exploration.json", data, 0o644); err == nil {
+			fmt.Println("script written to exploration.json (replayable with viracocha-client -session)")
+		}
+	}
+
+	naiveScript := &session.Script{Name: "engine exploration (naive)"}
+	for _, st := range script.Steps {
+		n := st
+		switch n.Command {
+		case "iso.viewer":
+			n.Command = "iso.simple"
+		case "vortex.streamed":
+			n.Command = "vortex.simple"
+		}
+		naiveScript.Steps = append(naiveScript.Steps, n)
+	}
+
+	// Both configurations see the same simulated storage costs (real-clock
+	// sleeps): paper-scale block bytes over a 30 MB/s store, so loading is
+	// a visible part of every naive interaction.
+	store := viracocha.Options{
+		Workers:          4,
+		StorageLatency:   5 * time.Millisecond,
+		StorageBandwidth: 30e6,
+		ChargePaperBytes: true,
+	}
+	fmt.Printf("%-22s %12s %12s\n", "interaction", "naive-first", "viracocha-first")
+	naive := replay(naiveScript, store)
+	withPrefetch := store
+	withPrefetch.Prefetcher = "obl"
+	full := replay(script, withPrefetch)
+	for i := range naive {
+		fmt.Printf("%-22s %12v %12v\n", script.Steps[i].Label,
+			naive[i].FirstFeedback.Round(time.Millisecond),
+			full[i].FirstFeedback.Round(time.Millisecond))
+	}
+	budget := 300 * time.Millisecond
+	ns := session.Summarize(naive, budget)
+	fs := session.Summarize(full, budget)
+	fmt.Printf("\nwithin a %v feedback budget: naive %d/%d, viracocha %d/%d\n",
+		budget, ns.WithinBudget, ns.Steps, fs.WithinBudget, fs.Steps)
+}
+
+func step(label, cmd string, kv ...string) session.Step {
+	params := viracocha.Params(kv...)
+	params["dataset"] = "engine"
+	params["workers"] = "4"
+	params["field"] = "pressure"
+	params["ex"] = "-0.2"
+	params["ez"] = "0.05"
+	return session.Step{Label: label, Command: cmd, Params: params, Think: 200 * time.Millisecond}
+}
+
+func replay(script *session.Script, opts viracocha.Options) []session.StepResult {
+	sys := viracocha.New(opts)
+	if _, err := sys.AddDataset("engine", 2); err != nil {
+		log.Fatal(err)
+	}
+	var results []session.StepResult
+	sys.Session(func(c *viracocha.Client) {
+		results = session.Replay(coreClient(c), sys.Clock, script)
+	})
+	return results
+}
+
+// coreClient unwraps the façade client for the session replayer.
+func coreClient(c *viracocha.Client) *core.Client { return c.Inner() }

@@ -1,0 +1,3 @@
+module viracocha
+
+go 1.22

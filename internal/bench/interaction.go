@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"viracocha/internal/core"
+	"viracocha/internal/dataset"
+	"viracocha/internal/session"
+)
+
+// Interaction is the capstone experiment behind the paper's user-acceptance
+// argument (§1.1, §5, §8): a scripted explorative-analysis session — iso
+// sweeps, a vortex hunt, a particle trace, each with think time — replayed
+// against (a) the naive configuration (no DMS, no streaming) and (b) the
+// full Viracocha configuration (DMS + streaming + prefetching). The paper
+// cannot measure user acceptance directly; this experiment quantifies its
+// proxy, the time until the user sees first feedback per interaction.
+func Interaction(o Options) *Table {
+	o = o.normalize()
+	t := &Table{
+		ID: "interaction", Title: "Explorative session: time to first feedback", PaperRef: "§1.1/§5/§8",
+		Columns: []string{"Config", "MedianFirst[s]", "WorstFirst[s]", "Within5s", "SessionTotal[s]"},
+	}
+	workers := 8
+	if o.Quick {
+		workers = 4
+	}
+	budget := 5 * time.Second
+
+	for _, cfg := range []struct {
+		name   string
+		script *session.Script
+		env    EnvConfig
+	}{
+		{
+			name:   "naive (no DMS, no streaming)",
+			script: explorativeScript(workers, false, o),
+			env:    EnvConfig{DS: dataset.Engine().WithScale(o.Scale), Workers: workers},
+		},
+		{
+			name:   "viracocha (DMS + streaming)",
+			script: explorativeScript(workers, true, o),
+			env:    EnvConfig{DS: dataset.Engine().WithScale(o.Scale), Workers: workers, Prefetcher: "markov"},
+		},
+	} {
+		e := NewEnv(cfg.env)
+		var results []session.StepResult
+		e.Session(func(cl *core.Client) {
+			results = session.Replay(cl, e.V, cfg.script)
+		})
+		for _, r := range results {
+			if r.Err != nil {
+				panic(fmt.Sprintf("bench: interaction step %q failed: %v", r.Label, r.Err))
+			}
+		}
+		s := session.Summarize(results, budget)
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			Secs(s.MedianFirst),
+			Secs(s.WorstFirst),
+			fmt.Sprintf("%d/%d", s.WithinBudget, s.Steps),
+			Secs(s.TotalSession),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"same semantic session: 3 iso sweeps, 3 vortex-threshold trials, 1 particle trace, 1 final surface; 10s think time between interactions",
+		"expected shape: streaming + caching moves nearly every interaction's first feedback inside the budget; the naive config makes the user wait for full extractions every time")
+	return t
+}
+
+// explorativeScript builds the session: the streaming variant uses the
+// streamed/DMS commands, the naive one the Simple* equivalents.
+func explorativeScript(workers int, streaming bool, o Options) *session.Script {
+	w := strconv.Itoa(workers)
+	think := 10 * time.Second
+	isoCmd, vortexCmd, pathCmd := "iso.simple", "vortex.simple", "pathlines.simple"
+	if streaming {
+		isoCmd, vortexCmd, pathCmd = "iso.viewer", "vortex.streamed", "pathlines.dataman"
+	}
+	seeds := "16"
+	if o.Quick {
+		seeds = "8"
+	}
+	var steps []session.Step
+	add := func(label, cmd string, params map[string]string) {
+		params["dataset"] = "engine"
+		params["workers"] = w
+		steps = append(steps, session.Step{Label: label, Command: cmd, Params: params, Think: think})
+	}
+	for i, iso := range []string{"300", "500", "650"} {
+		add(fmt.Sprintf("iso sweep %d", i+1), isoCmd, map[string]string{
+			"iso": iso, "field": "pressure",
+			"ex": "-0.2", "ey": "0", "ez": "0.05", "granularity": "500",
+		})
+	}
+	for i, l2 := range []string{"-4000", "-1500", "-800"} {
+		add(fmt.Sprintf("vortex trial %d", i+1), vortexCmd, map[string]string{
+			"lambda2": l2, "cellbatch": "256",
+		})
+	}
+	add("particle trace", pathCmd, map[string]string{
+		"seeds": seeds, "seedbox": "-0.03,-0.03,0.02,0.03,0.03,0.08",
+		"stepdt": "0.0005", "t0": "0", "t1": "0.008",
+	})
+	add("final surface", isoCmd, map[string]string{
+		"iso": "500", "field": "pressure",
+		"ex": "-0.2", "ey": "0", "ez": "0.05", "granularity": "500",
+	})
+	return &session.Script{Name: "explorative analysis", Steps: steps}
+}

@@ -1,0 +1,42 @@
+package comm
+
+import (
+	"net"
+	"sync"
+)
+
+// Conn adapts a net.Conn (the TCP link between visualization client and
+// scheduler) into a Sender/Receiver of framed messages. Writes are
+// serialized; reads are expected from a single goroutine.
+type Conn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Send writes one framed message.
+func (c *Conn) Send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.c, m)
+}
+
+// Recv reads one framed message; ok is false on any read error (EOF,
+// closed connection, corrupt frame), after which the connection is dead.
+func (c *Conn) Recv() (Message, bool) {
+	m, err := ReadFrame(c.c)
+	if err != nil {
+		return Message{}, false
+	}
+	return m, true
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+var (
+	_ Sender   = (*Conn)(nil)
+	_ Receiver = (*Conn)(nil)
+)

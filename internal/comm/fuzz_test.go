@@ -1,0 +1,32 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode exercises the message decoder: no panics, and accepted inputs
+// round-trip.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(sampleMessage()))
+	f.Add(Encode(Message{}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !reflect.DeepEqual(m, mustDecode(t, Encode(m))) {
+			t.Fatal("accepted message does not round-trip")
+		}
+	})
+}
+
+func mustDecode(t *testing.T, data []byte) Message {
+	t.Helper()
+	m, err := Decode(data)
+	if err != nil {
+		t.Fatalf("re-decode failed: %v", err)
+	}
+	return m
+}

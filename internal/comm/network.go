@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"viracocha/internal/vclock"
+)
+
+// Network is the in-process message-passing fabric between scheduler and
+// workers (the paper's MPI layer). Every send charges the sender the link
+// latency plus transfer time for the message's wire size, so gather and
+// streaming overheads appear in the experiment timings.
+type Network struct {
+	Clock     vclock.Clock
+	Latency   time.Duration
+	Bandwidth float64 // bytes/s; <=0 means infinite
+
+	mu    sync.Mutex
+	nodes map[string]*Endpoint
+	stats NetworkStats
+}
+
+// NetworkStats accumulates fabric-wide traffic counters.
+type NetworkStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// NewNetwork builds a fabric on the given clock with a uniform link model.
+func NewNetwork(c vclock.Clock, latency time.Duration, bandwidth float64) *Network {
+	return &Network{Clock: c, Latency: latency, Bandwidth: bandwidth, nodes: map[string]*Endpoint{}}
+}
+
+// Endpoint returns (creating on first use) the endpoint of the named node.
+func (n *Network) Endpoint(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.nodes[name]; ok {
+		return e
+	}
+	e := &Endpoint{
+		name:   name,
+		net:    n,
+		inbox:  vclock.NewQueue[Message](n.Clock),
+		inLink: vclock.NewSemaphore(n.Clock, 1),
+	}
+	n.nodes[name] = e
+	return e
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() NetworkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *Network) transferCost(size int64) time.Duration {
+	d := n.Latency
+	if n.Bandwidth > 0 {
+		d += time.Duration(float64(size) / n.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Endpoint is one node's mailbox on the fabric. Each endpoint has a single
+// inbound link: concurrent senders to the same node serialize their
+// transfers, which is what makes "many work nodes literally firing data at
+// the visualization system" (§5.2) a real cost as work groups grow.
+type Endpoint struct {
+	name   string
+	net    *Network
+	inbox  *vclock.Queue[Message]
+	inLink *vclock.Semaphore
+}
+
+// Name reports the node name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Send delivers m to the named endpoint, charging the sending actor the
+// link cost. Sending to an unknown endpoint is an error (endpoints are
+// created eagerly at startup).
+func (e *Endpoint) Send(to string, m Message) error {
+	e.net.mu.Lock()
+	dst, ok := e.net.nodes[to]
+	if ok {
+		e.net.stats.Messages++
+		e.net.stats.Bytes += m.WireSize()
+	}
+	e.net.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("comm: unknown endpoint %q", to)
+	}
+	dst.inLink.Acquire()
+	e.net.Clock.Sleep(e.net.transferCost(m.WireSize()))
+	dst.inLink.Release()
+	dst.inbox.Push(m)
+	return nil
+}
+
+// Recv blocks the calling actor until a message arrives; ok is false after
+// Close once the inbox is drained.
+func (e *Endpoint) Recv() (Message, bool) {
+	return e.inbox.Pop()
+}
+
+// TryRecv returns a queued message without blocking.
+func (e *Endpoint) TryRecv() (Message, bool) {
+	return e.inbox.TryPop()
+}
+
+// Pending reports the number of queued messages.
+func (e *Endpoint) Pending() int { return e.inbox.Len() }
+
+// Close shuts the inbox; pending messages can still be drained.
+func (e *Endpoint) Close() { e.inbox.Close() }
+
+// BoundSender adapts an endpoint into a Sender with a fixed destination.
+type BoundSender struct {
+	From *Endpoint
+	To   string
+}
+
+// Send implements Sender.
+func (b *BoundSender) Send(m Message) error { return b.From.Send(b.To, m) }
+
+var (
+	_ Sender   = (*BoundSender)(nil)
+	_ Receiver = (*Endpoint)(nil)
+)

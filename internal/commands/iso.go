@@ -1,0 +1,438 @@
+// Package commands is Viracocha's topmost layer (paper §3): the actual
+// post-processing algorithms, registered by name with the core runtime. It
+// contains the paper's measured commands — SimpleIso/IsoDataMan/ViewerIso,
+// SimpleVortex/VortexDataMan/StreamedVortex, SimplePathlines/
+// PathlinesDataMan (§6.3) — plus a cut-plane command and a progressive
+// multi-resolution isosurface from the future-work list (§9).
+package commands
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"viracocha/internal/core"
+	"viracocha/internal/grid"
+	"viracocha/internal/iso"
+	"viracocha/internal/mathx"
+	"viracocha/internal/mesh"
+)
+
+// Common parameters:
+//
+//	dataset  – data set name (required)
+//	step     – time step (default 0)
+//	field    – scalar field (default "pressure")
+//	iso      – iso value (default 0)
+//	workers  – work group size
+//	granularity – triangles per streamed packet (streaming commands)
+//	ex,ey,ez – viewpoint (ViewerIso)
+
+// SimpleIso is the baseline: no data management at all — every block is read
+// straight from storage, every run pays full I/O.
+type SimpleIso struct{}
+
+// Name implements core.Command.
+func (SimpleIso) Name() string { return "iso.simple" }
+
+// Run implements core.Command.
+func (SimpleIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	field := ctx.Param("field", "pressure")
+	isoVal := ctx.FloatParam("iso", 0)
+	step := ctx.StepParam()
+	out := &mesh.Mesh{}
+	for _, blk := range ctx.AssignedBlocks(nil) {
+		if ctx.Cancelled() {
+			return nil, core.ErrCancelled
+		}
+		b, err := ctx.LoadRaw(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		res := iso.ExtractBlock(b, field, isoVal, out)
+		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+	}
+	return out, nil
+}
+
+// IsoDataMan is the DMS-enabled isosurface command: blocks come through the
+// two-tier cache, and the next assigned block is code-prefetched so I/O
+// overlaps extraction (§4.2, user-initiated code prefetching).
+type IsoDataMan struct{}
+
+// Name implements core.Command.
+func (IsoDataMan) Name() string { return "iso.dataman" }
+
+// Run implements core.Command.
+func (IsoDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	field := ctx.Param("field", "pressure")
+	isoVal := ctx.FloatParam("iso", 0)
+	step := ctx.StepParam()
+	doPrefetch := ctx.IntParam("prefetch", 1) != 0
+	blocks := ctx.AssignedBlocks(nil)
+	out := &mesh.Mesh{}
+	for i, blk := range blocks {
+		if ctx.Cancelled() {
+			return nil, core.ErrCancelled
+		}
+		if doPrefetch && i+1 < len(blocks) {
+			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+		}
+		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		res := iso.ExtractBlock(b, field, isoVal, out)
+		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+		ctx.Progress(i+1, len(blocks))
+	}
+	return out, nil
+}
+
+// ViewerIso is the view-dependent streaming isosurface (§6.3): blocks are
+// sorted front-to-back with respect to the viewpoint, each block's domain is
+// organized in a BSP tree that is traversed view-dependently with
+// empty-region pruning, and triangles are streamed to the client whenever
+// the granularity budget fills. A full surface is still produced — only the
+// *order* is view-dependent, since the user will inspect the result from
+// other angles in the virtual environment.
+type ViewerIso struct{}
+
+// Name implements core.Command.
+func (ViewerIso) Name() string { return "iso.viewer" }
+
+// Run implements core.Command.
+func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	field := ctx.Param("field", "pressure")
+	isoVal := ctx.FloatParam("iso", 0)
+	step := ctx.StepParam()
+	granularity := ctx.IntParam("granularity", 2000)
+	eye := mathx.Vec3{
+		X: ctx.FloatParam("ex", 0),
+		Y: ctx.FloatParam("ey", 0),
+		Z: ctx.FloatParam("ez", 0),
+	}
+	order := frontToBackOrder(ctx, step, eye)
+	pending := &mesh.Mesh{}
+	flush := func(force bool) error {
+		if pending.NumTriangles() == 0 {
+			return nil
+		}
+		if !force && pending.NumTriangles() < granularity {
+			return nil
+		}
+		err := ctx.StreamPartial(pending)
+		pending = &mesh.Mesh{}
+		return err
+	}
+	doPrefetch := ctx.IntParam("prefetch", 1) != 0
+	blocks := ctx.AssignedBlocks(order)
+	for i, blk := range blocks {
+		if ctx.Cancelled() {
+			return nil, core.ErrCancelled
+		}
+		if doPrefetch && i+1 < len(blocks) {
+			// OBL-style code prefetch of the next block in view order.
+			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+		}
+		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		vals, ok := b.Scalars[field]
+		if !ok {
+			continue
+		}
+		// Build and traverse the per-block BSP tree; this is the extra cost
+		// the paper attributes to ViewerIso's streaming overhead.
+		tree := grid.BuildBSP(b, field)
+		ctx.Charge(ctx.Cost.BSPCost(b.NumCells()))
+		var streamErr error
+		tree.VisitFrontToBack(eye, isoVal, func(r grid.CellRange) bool {
+			res := iso.ExtractRange(b, vals, isoVal, r, pending)
+			ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+			if err := flush(false); err != nil {
+				streamErr = err
+				return false
+			}
+			return true
+		})
+		if streamErr != nil {
+			return nil, streamErr
+		}
+	}
+	if err := flush(true); err != nil {
+		return nil, err
+	}
+	return nil, nil // everything streamed
+}
+
+// frontToBackOrder sorts block indices by bounding-box distance from the
+// eye using the data set's analytic metadata — no block loads needed.
+func frontToBackOrder(ctx *core.Ctx, step int, eye mathx.Vec3) []int {
+	n := ctx.Dataset.Blocks
+	order := make([]int, n)
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		order[i] = i
+		dist[i] = ctx.Dataset.Bounds(step, i).Center().Sub(eye).Norm()
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+	return order
+}
+
+// ProgressiveIso implements the future-work multi-resolution streaming
+// scheme (§5.3): it extracts the surface on coarsened grids first, streaming
+// each level as soon as it exists, so the client sees a rough surface long
+// before the full-resolution result. Levels are recomputed rather than
+// incrementally refined — the paper notes truly progressive refinement
+// operators are future work; the coarse levels are cached as their own data
+// items by the DMS naming service.
+type ProgressiveIso struct{}
+
+// Name implements core.Command.
+func (ProgressiveIso) Name() string { return "iso.progressive" }
+
+// Run implements core.Command. With incremental=1 the refinement levels are
+// computed truly progressively (paper §5.3's future-work scheme): each
+// level only rescans the neighbourhood of the previous level's surface
+// instead of the whole block.
+func (ProgressiveIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	if ctx.IntParam("incremental", 0) != 0 {
+		return progressiveIncremental(ctx)
+	}
+	field := ctx.Param("field", "pressure")
+	isoVal := ctx.FloatParam("iso", 0)
+	step := ctx.StepParam()
+	maxLevel := ctx.IntParam("levels", 2)
+	blocks := ctx.AssignedBlocks(nil)
+	for level := maxLevel; level >= 0; level-- {
+		levelMesh := &mesh.Mesh{}
+		for _, blk := range blocks {
+			b, err := ctx.LoadCoarse(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}, level)
+			if err != nil {
+				return nil, err
+			}
+			if !b.HasScalar(field) {
+				continue
+			}
+			res := iso.ExtractBlock(b, field, isoVal, levelMesh)
+			ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+		}
+		if level > 0 {
+			if err := ctx.StreamPartial(levelMesh); err != nil {
+				return nil, err
+			}
+		} else {
+			// The final level travels as the gathered result so the client
+			// can distinguish the authoritative surface from previews.
+			return levelMesh, nil
+		}
+	}
+	return &mesh.Mesh{}, nil
+}
+
+// progressiveIncremental is the incremental-refinement body of
+// ProgressiveIso: blocks are loaded at full resolution once, then refined
+// level by level with per-block active-region propagation.
+func progressiveIncremental(ctx *core.Ctx) (*mesh.Mesh, error) {
+	field := ctx.Param("field", "pressure")
+	isoVal := ctx.FloatParam("iso", 0)
+	step := ctx.StepParam()
+	maxLevel := ctx.IntParam("levels", 2)
+	var refiners []*iso.ProgressiveBlock
+	for _, blk := range ctx.AssignedBlocks(nil) {
+		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		if !b.HasScalar(field) {
+			continue
+		}
+		refiners = append(refiners, iso.NewProgressiveBlock(b, field, isoVal))
+	}
+	for level := maxLevel; level >= 0; level-- {
+		levelMesh := &mesh.Mesh{}
+		for _, pb := range refiners {
+			m, st := pb.ExtractLevel(level)
+			ctx.Charge(ctx.Cost.IsoCost(st.CellsVisited, st.Triangles))
+			levelMesh.Append(m)
+		}
+		if level > 0 {
+			if err := ctx.StreamPartial(levelMesh); err != nil {
+				return nil, err
+			}
+		} else {
+			return levelMesh, nil
+		}
+	}
+	return &mesh.Mesh{}, nil
+}
+
+// CutPlane extracts the intersection of the data with an arbitrary plane by
+// building a signed-distance scalar and triangulating its zero level — a
+// staple post-processing command demonstrating how the framework is
+// extended with new algorithms by only touching this layer.
+type CutPlane struct{}
+
+// Name implements core.Command.
+func (CutPlane) Name() string { return "cutplane" }
+
+// Run implements core.Command.
+func (CutPlane) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	step := ctx.StepParam()
+	origin := mathx.Vec3{
+		X: ctx.FloatParam("px", 0),
+		Y: ctx.FloatParam("py", 0),
+		Z: ctx.FloatParam("pz", 0),
+	}
+	normal := mathx.Vec3{
+		X: ctx.FloatParam("nx", 0),
+		Y: ctx.FloatParam("ny", 0),
+		Z: ctx.FloatParam("nz", 1),
+	}.Normalize()
+	out := &mesh.Mesh{}
+	for _, blk := range ctx.AssignedBlocks(nil) {
+		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		dist := make([]float32, b.NumNodes())
+		for n := 0; n < b.NumNodes(); n++ {
+			p := mathx.Vec3{
+				X: float64(b.Points[3*n]),
+				Y: float64(b.Points[3*n+1]),
+				Z: float64(b.Points[3*n+2]),
+			}
+			dist[n] = float32(p.Sub(origin).Dot(normal))
+		}
+		r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+		res := iso.ExtractRange(b, dist, 0, r, out)
+		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+	}
+	return out, nil
+}
+
+// FieldRange reports the global min/max and a histogram of a scalar field —
+// the query a visualization front-end issues before offering the user an
+// iso-value slider. The statistics are encoded in the result mesh's Values
+// array (no geometry): [min, max, bucket₀ … bucket₁₅]; DecodeFieldRange
+// unpacks them.
+type FieldRange struct{}
+
+// Name implements core.Command.
+func (FieldRange) Name() string { return "fieldrange" }
+
+// fieldRangeBuckets is the histogram resolution.
+const fieldRangeBuckets = 16
+
+// Run implements core.Command.
+func (FieldRange) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	field := ctx.Param("field", "pressure")
+	step := ctx.StepParam()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var all [][]float32
+	for _, blk := range ctx.AssignedBlocks(nil) {
+		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		vals, ok := b.Scalars[field]
+		if !ok {
+			continue
+		}
+		all = append(all, vals)
+		for _, v := range vals {
+			f := float64(v)
+			lo = math.Min(lo, f)
+			hi = math.Max(hi, f)
+		}
+		// Scanning is cheap; price it like an active-cell sweep.
+		ctx.Charge(ctx.Cost.IsoCost(len(vals)/8, 0))
+	}
+	var hist [fieldRangeBuckets]float32
+	if hi > lo {
+		scale := float64(fieldRangeBuckets) / (hi - lo)
+		for _, vals := range all {
+			for _, v := range vals {
+				b := int((float64(v) - lo) * scale)
+				if b >= fieldRangeBuckets {
+					b = fieldRangeBuckets - 1
+				}
+				hist[b]++
+			}
+		}
+	}
+	out := &mesh.Mesh{}
+	// Values are per-vertex, so the stats ride on placeholder vertices;
+	// the gather path then concatenates workers' stats blocks cleanly.
+	out.Values = append(out.Values, float32(lo), float32(hi))
+	out.Values = append(out.Values, hist[:]...)
+	for range out.Values {
+		out.AddVertex(mathx.Vec3{})
+	}
+	return out, nil
+}
+
+// DecodeFieldRange unpacks per-worker fieldrange results merged by the
+// master. Each worker histogrammed its own blocks over its local range, so
+// the decoder computes the global range first and then re-bins every
+// worker's buckets into it, distributing each bucket's mass over the global
+// buckets it overlaps — the standard distributed-histogram merge.
+func DecodeFieldRange(m *mesh.Mesh) (lo, hi float64, hist []float64, err error) {
+	const stride = 2 + fieldRangeBuckets
+	if len(m.Values) == 0 || len(m.Values)%stride != 0 {
+		return 0, 0, nil, fmt.Errorf("commands: malformed fieldrange payload (%d values)", len(m.Values))
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for off := 0; off < len(m.Values); off += stride {
+		lo = math.Min(lo, float64(m.Values[off]))
+		hi = math.Max(hi, float64(m.Values[off+1]))
+	}
+	hist = make([]float64, fieldRangeBuckets)
+	if hi <= lo {
+		// Constant field: all mass in the first bucket.
+		for off := 0; off < len(m.Values); off += stride {
+			for b := 0; b < fieldRangeBuckets; b++ {
+				hist[0] += float64(m.Values[off+2+b])
+			}
+		}
+		return lo, hi, hist, nil
+	}
+	gw := (hi - lo) / fieldRangeBuckets
+	for off := 0; off < len(m.Values); off += stride {
+		wlo := float64(m.Values[off])
+		whi := float64(m.Values[off+1])
+		ww := (whi - wlo) / fieldRangeBuckets
+		for b := 0; b < fieldRangeBuckets; b++ {
+			mass := float64(m.Values[off+2+b])
+			if mass == 0 {
+				continue
+			}
+			b0 := wlo + float64(b)*ww
+			b1 := b0 + ww
+			if ww == 0 {
+				// Degenerate local range: drop the point mass at b0.
+				g := int((b0 - lo) / gw)
+				if g >= fieldRangeBuckets {
+					g = fieldRangeBuckets - 1
+				}
+				if g < 0 {
+					g = 0
+				}
+				hist[g] += mass
+				continue
+			}
+			// Spread the mass across overlapped global buckets.
+			for g := 0; g < fieldRangeBuckets; g++ {
+				g0 := lo + float64(g)*gw
+				g1 := g0 + gw
+				overlap := math.Min(b1, g1) - math.Max(b0, g0)
+				if overlap > 0 {
+					hist[g] += mass * overlap / ww
+				}
+			}
+		}
+	}
+	return lo, hi, hist, nil
+}

@@ -1,0 +1,153 @@
+package commands
+
+import (
+	"viracocha/internal/core"
+	"viracocha/internal/grid"
+	"viracocha/internal/iso"
+	"viracocha/internal/mesh"
+	"viracocha/internal/vortex"
+)
+
+// Vortex parameters: "lambda2" is the iso threshold (≈ 0, slightly negative
+// in practice, §1.1); "cellbatch" is the streamed command's active-cell list
+// length (§6.3).
+
+// SimpleVortex is the λ2 baseline without data management: raw loads, full
+// scalar-field computation, then isosurface extraction.
+type SimpleVortex struct{}
+
+// Name implements core.Command.
+func (SimpleVortex) Name() string { return "vortex.simple" }
+
+// Run implements core.Command.
+func (SimpleVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	thresh := ctx.FloatParam("lambda2", 0)
+	step := ctx.StepParam()
+	out := &mesh.Mesh{}
+	for _, blk := range ctx.AssignedBlocks(nil) {
+		b, err := ctx.LoadRaw(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float32, b.NumNodes())
+		ctx.Charge(ctx.Cost.Lambda2Cost(vortex.ComputeInto(b, vals)))
+		r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+		res := iso.ExtractRange(b, vals, thresh, r, out)
+		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+	}
+	return out, nil
+}
+
+// VortexDataMan computes the complete λ2 field per block with DMS-managed
+// loading and OBL-style code prefetching, then extracts the vortex surface;
+// the result travels as one gathered package.
+type VortexDataMan struct{}
+
+// Name implements core.Command.
+func (VortexDataMan) Name() string { return "vortex.dataman" }
+
+// Run implements core.Command.
+func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	thresh := ctx.FloatParam("lambda2", 0)
+	step := ctx.StepParam()
+	doPrefetch := ctx.IntParam("prefetch", 1) != 0
+	blocks := ctx.AssignedBlocks(nil)
+	out := &mesh.Mesh{}
+	for i, blk := range blocks {
+		if ctx.Cancelled() {
+			return nil, core.ErrCancelled
+		}
+		if doPrefetch && i+1 < len(blocks) {
+			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+		}
+		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		// λ2 is computed into a command-private array: the cache stores raw
+		// blocks shared across workers, so they must not be mutated.
+		vals := make([]float32, b.NumNodes())
+		ctx.Charge(ctx.Cost.Lambda2Cost(vortex.ComputeInto(b, vals)))
+		r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+		res := iso.ExtractRange(b, vals, thresh, r, out)
+		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+		ctx.Progress(i+1, len(blocks))
+	}
+	return out, nil
+}
+
+// StreamedVortex avoids computing the complete λ2 field first: it walks the
+// cells one by one, evaluates λ2 lazily at their corners, collects active
+// cells, and whenever the active-cell list reaches the user-specified
+// length, triangulates the batch and streams it to the client (§6.3).
+type StreamedVortex struct{}
+
+// Name implements core.Command.
+func (StreamedVortex) Name() string { return "vortex.streamed" }
+
+// Run implements core.Command.
+func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
+	thresh := ctx.FloatParam("lambda2", 0)
+	step := ctx.StepParam()
+	batch := ctx.IntParam("cellbatch", 256)
+	doPrefetch := ctx.IntParam("prefetch", 1) != 0
+	blocks := ctx.AssignedBlocks(nil)
+	for i, blk := range blocks {
+		if ctx.Cancelled() {
+			return nil, core.ErrCancelled
+		}
+		if doPrefetch && i+1 < len(blocks) {
+			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+		}
+		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		if err != nil {
+			return nil, err
+		}
+		lazy := vortex.NewLazy(b)
+		computed := 0
+		visited := 0
+		var active [][3]int
+		// charge prices the work since the last charge: λ2 evaluations, the
+		// per-cell active tests, and any triangles just produced. Charging
+		// in batches keeps the virtual-clock bookkeeping off the hot loop.
+		charge := func(tris int) {
+			ctx.Charge(ctx.Cost.LazyLambda2Cost(lazy.ComputedNodes() - computed))
+			computed = lazy.ComputedNodes()
+			ctx.Charge(ctx.Cost.IsoCost(visited, tris))
+			visited = 0
+		}
+		emit := func() error {
+			part := &mesh.Mesh{}
+			tris := 0
+			for _, c := range active {
+				tris += iso.ExtractCell(b, lazy.Vals(), thresh, c[0], c[1], c[2], part)
+			}
+			charge(tris)
+			active = active[:0]
+			if part.NumTriangles() == 0 {
+				return nil
+			}
+			return ctx.StreamPartial(part)
+		}
+		for ck := 0; ck < b.NK-1; ck++ {
+			for cj := 0; cj < b.NJ-1; cj++ {
+				for ci := 0; ci < b.NI-1; ci++ {
+					lazy.EnsureCell(ci, cj, ck)
+					visited++
+					if iso.ActiveCell(b, lazy.Vals(), thresh, ci, cj, ck) {
+						active = append(active, [3]int{ci, cj, ck})
+						if len(active) >= batch {
+							if err := emit(); err != nil {
+								return nil, err
+							}
+						}
+					}
+				}
+			}
+		}
+		if err := emit(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil // everything streamed
+}

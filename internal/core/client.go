@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/mesh"
+)
+
+// Client is the in-process stand-in for the ViSTA FlowLib visualization
+// client: it submits commands to the scheduler and collects streamed
+// partials and final results. All methods must be called from a single
+// clock actor.
+type Client struct {
+	rt    *Runtime
+	ep    *comm.Endpoint
+	stash map[uint64][]stamped
+}
+
+type stamped struct {
+	msg comm.Message
+	at  time.Duration
+}
+
+// NewClient attaches a client endpoint to the runtime's fabric. Every
+// client gets its own endpoint, so several clients (in-process sessions,
+// TCP connections) can work concurrently; replies are routed back to the
+// endpoint that issued the request.
+func NewClient(rt *Runtime) *Client {
+	name := fmt.Sprintf("client%d", rt.NextClientID())
+	return &Client{rt: rt, ep: rt.Net.Endpoint(name), stash: map[uint64][]stamped{}}
+}
+
+// Name reports the client's endpoint name.
+func (c *Client) Name() string { return c.ep.Name() }
+
+// RunResult is everything the client observed for one request.
+type RunResult struct {
+	ReqID uint64
+	// Merged is the final geometry: streamed partials assembled in arrival
+	// order plus the master's result package.
+	Merged *mesh.Mesh
+	// Packets holds each streamed partial in arrival order, so callers can
+	// inspect what was visualizable when (progressive rendering, tests).
+	Packets []*mesh.Mesh
+	// Partials counts streamed packets (excluding the final result).
+	Partials int
+	// SubmittedAt, FirstAt and FinalAt are clock times of submission, first
+	// received geometry and final message.
+	SubmittedAt, FirstAt, FinalAt time.Duration
+	// Progress holds per-worker progress reports in arrival order (only
+	// when the request set progress=1).
+	Progress []ProgressReport
+	// Err is set when the request failed server-side.
+	Err error
+}
+
+// ProgressReport is one progress message from one worker.
+type ProgressReport struct {
+	Worker      string
+	Done, Total int
+	At          time.Duration
+}
+
+// Latency is the paper's latency metric: time until the first visualizable
+// data arrived.
+func (r *RunResult) Latency() time.Duration { return r.FirstAt - r.SubmittedAt }
+
+// Total is the client-observed completion time.
+func (r *RunResult) Total() time.Duration { return r.FinalAt - r.SubmittedAt }
+
+// Submit sends a command without waiting. The returned request ID is passed
+// to Collect.
+func (c *Client) Submit(command string, params map[string]string) (uint64, error) {
+	reqID := c.rt.NextReqID()
+	p := map[string]string{}
+	for k, v := range params {
+		p[k] = v
+	}
+	p["client"] = c.ep.Name()
+	msg := comm.Message{Kind: "command", Command: command, ReqID: reqID, Params: p}
+	if err := c.ep.Send("scheduler", msg); err != nil {
+		return 0, err
+	}
+	return reqID, nil
+}
+
+// Collect blocks until the request's final message, assembling streamed
+// partials. Messages for other in-flight requests are stashed, so several
+// Submits can be collected in any order.
+func (c *Client) Collect(reqID uint64) (*RunResult, error) {
+	res := &RunResult{ReqID: reqID, Merged: &mesh.Mesh{}, SubmittedAt: c.rt.Clock.Now()}
+	handle := func(sm stamped) (done bool, err error) {
+		m := sm.msg
+		switch m.Kind {
+		case "partial":
+			part, derr := mesh.DecodeBinary(m.Payload)
+			if derr != nil {
+				return false, fmt.Errorf("core: corrupt partial: %w", derr)
+			}
+			if res.Partials == 0 && res.FirstAt == 0 {
+				res.FirstAt = sm.at
+			}
+			res.Partials++
+			res.Packets = append(res.Packets, part)
+			res.Merged.Append(part)
+			return false, nil
+		case "result":
+			final, derr := mesh.DecodeBinary(m.Payload)
+			if derr != nil {
+				return true, fmt.Errorf("core: corrupt result: %w", derr)
+			}
+			if res.FirstAt == 0 && final.NumTriangles() > 0 {
+				res.FirstAt = sm.at
+			}
+			res.Merged.Append(final)
+			res.FinalAt = sm.at
+			if res.FirstAt == 0 {
+				res.FirstAt = sm.at
+			}
+			return true, nil
+		case "progress":
+			res.Progress = append(res.Progress, ProgressReport{
+				Worker: m.Params["worker"],
+				Done:   m.IntParam("done", 0),
+				Total:  m.IntParam("total", 0),
+				At:     sm.at,
+			})
+			return false, nil
+		case "error":
+			res.Err = fmt.Errorf("core: remote error: %s", m.Params["error"])
+			res.FinalAt = sm.at
+			if res.FirstAt == 0 {
+				res.FirstAt = sm.at
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+	// Drain anything already stashed for this request.
+	if queued, ok := c.stash[reqID]; ok {
+		delete(c.stash, reqID)
+		for _, sm := range queued {
+			done, err := handle(sm)
+			if err != nil {
+				return res, err
+			}
+			if done {
+				return res, res.Err
+			}
+		}
+	}
+	for {
+		m, ok := c.ep.Recv()
+		if !ok {
+			return res, fmt.Errorf("core: client endpoint closed before request %d finished", reqID)
+		}
+		sm := stamped{msg: m, at: c.rt.Clock.Now()}
+		if m.ReqID != reqID {
+			c.stash[m.ReqID] = append(c.stash[m.ReqID], sm)
+			continue
+		}
+		done, err := handle(sm)
+		if err != nil {
+			return res, err
+		}
+		if done {
+			return res, res.Err
+		}
+	}
+}
+
+// Cancel asks the scheduler to cancel a running request. The request still
+// completes protocol-wise (the master reports a cancellation error), so
+// Collect must still be called.
+func (c *Client) Cancel(reqID uint64) error {
+	return c.ep.Send("scheduler", comm.Message{Kind: "cancel", ReqID: reqID})
+}
+
+// Run submits a command and waits for its completion.
+func (c *Client) Run(command string, params map[string]string) (*RunResult, error) {
+	reqID, err := c.Submit(command, params)
+	if err != nil {
+		return nil, err
+	}
+	return c.Collect(reqID)
+}

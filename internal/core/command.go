@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/dataset"
+	"viracocha/internal/dms"
+	"viracocha/internal/grid"
+	"viracocha/internal/mesh"
+)
+
+// Command is the layer-3 interface: a post-processing algorithm executed by
+// every member of a work group. Implementations receive a Ctx describing
+// their rank and giving access to data loading, streaming and the cost
+// model. Run returns the worker's partial result mesh (which may be empty
+// for commands that streamed everything already) or an error.
+type Command interface {
+	Name() string
+	Run(ctx *Ctx) (*mesh.Mesh, error)
+}
+
+// Probes accumulates the per-worker time breakdown of Figure 15.
+type Probes struct {
+	Compute time.Duration
+	Read    time.Duration
+	Send    time.Duration
+}
+
+// Ctx is the execution context of one worker within one work group.
+type Ctx struct {
+	rt     *Runtime
+	worker *Worker
+
+	// Req is the originating request message; command parameters are read
+	// from it.
+	Req comm.Message
+	// Rank and GroupSize identify this worker within the group; rank 0 is
+	// the master that gathers and merges.
+	Rank, GroupSize int
+	// Group lists the node names of the work group, Group[0] the master.
+	Group []string
+	// Dataset is the data set named by the request.
+	Dataset *dataset.Desc
+	// Cost prices work counts into charged time.
+	Cost CostModel
+
+	probes  Probes
+	seq     int
+	streams int
+}
+
+// ErrCancelled is returned by commands that observed a client cancellation
+// (paper §5: meaningless extraction processes are "discarded immediately in
+// order to continue the investigation at another point").
+var ErrCancelled = errors.New("core: request cancelled by client")
+
+// Cancelled reports whether the client cancelled this request. Commands
+// poll it at natural boundaries (per block, per batch) and return
+// ErrCancelled to stop early.
+func (c *Ctx) Cancelled() bool { return c.rt.isCancelled(c.Req.ReqID) }
+
+// Proxy returns this worker's DMS proxy.
+func (c *Ctx) Proxy() *dms.Proxy { return c.worker.proxy }
+
+// Clock exposes the runtime clock for commands that price custom work.
+func (c *Ctx) Clock() interface{ Now() time.Duration } { return c.rt.Clock }
+
+// Charge prices d of computation to this worker (virtual time) and adds it
+// to the compute probe.
+func (c *Ctx) Charge(d time.Duration) {
+	if d > 0 {
+		c.rt.Clock.Sleep(d)
+		c.probes.Compute += d
+	}
+}
+
+// Load fetches a block through the DMS, accounting the elapsed time as read
+// time.
+func (c *Ctx) Load(id grid.BlockID) (*grid.Block, error) {
+	start := c.rt.Clock.Now()
+	b, err := c.worker.proxy.Get(id)
+	c.probes.Read += c.rt.Clock.Now() - start
+	return b, err
+}
+
+// LoadCoarse fetches a block at a multi-resolution level through the DMS.
+func (c *Ctx) LoadCoarse(id grid.BlockID, level int) (*grid.Block, error) {
+	start := c.rt.Clock.Now()
+	b, err := c.worker.proxy.GetCoarse(id, level)
+	c.probes.Read += c.rt.Clock.Now() - start
+	return b, err
+}
+
+// LoadRaw fetches a block directly from the first registered device,
+// bypassing the DMS entirely — the data path of the paper's Simple*
+// baseline commands.
+func (c *Ctx) LoadRaw(id grid.BlockID) (*grid.Block, error) {
+	dev := c.rt.AnyDevice()
+	if dev == nil {
+		return nil, fmt.Errorf("core: no storage device registered")
+	}
+	start := c.rt.Clock.Now()
+	b, _, err := dev.Load(id)
+	c.probes.Read += c.rt.Clock.Now() - start
+	return b, err
+}
+
+// Prefetch issues an explicit (code) prefetch through the DMS.
+func (c *Ctx) Prefetch(id grid.BlockID) { c.worker.proxy.Prefetch(id) }
+
+// StreamPartial ships a partial result mesh directly to the visualization
+// client (the streaming path), accounting send time.
+func (c *Ctx) StreamPartial(m *mesh.Mesh) error {
+	c.seq++
+	c.streams++
+	msg := comm.Message{
+		Kind:    "partial",
+		Command: c.Req.Command,
+		ReqID:   c.Req.ReqID,
+		Seq:     c.seq,
+		Params:  map[string]string{"worker": c.worker.node},
+		Payload: m.EncodeBinary(),
+	}
+	start := c.rt.Clock.Now()
+	err := c.worker.ep.Send(c.ClientEndpoint(), msg)
+	c.probes.Send += c.rt.Clock.Now() - start
+	return err
+}
+
+// ClientEndpoint is the fabric name of the client that issued this request.
+func (c *Ctx) ClientEndpoint() string { return c.Param("client", "client") }
+
+// Progress reports completion of done-of-total work units to the client
+// when the request opted in with progress=1 — the paper's future-work
+// progress bar for the virtual environment (§9). Progress messages are
+// small and fire-and-forget; they do not count as partial results.
+func (c *Ctx) Progress(done, total int) {
+	if c.IntParam("progress", 0) == 0 || total <= 0 {
+		return
+	}
+	msg := comm.Message{
+		Kind:    "progress",
+		Command: c.Req.Command,
+		ReqID:   c.Req.ReqID,
+		Params: map[string]string{
+			"worker": c.worker.node,
+			"done":   strconv.Itoa(done),
+			"total":  strconv.Itoa(total),
+		},
+	}
+	start := c.rt.Clock.Now()
+	c.worker.ep.Send(c.ClientEndpoint(), msg)
+	c.probes.Send += c.rt.Clock.Now() - start
+}
+
+// Streams reports how many partial packets this worker has streamed.
+func (c *Ctx) Streams() int { return c.streams }
+
+// AssignedBlocks splits the block list of one time step round-robin across
+// the group: block b goes to rank b mod GroupSize. order, when non-nil,
+// permutes the blocks first (e.g. front-to-back for view-dependent
+// extraction).
+func (c *Ctx) AssignedBlocks(order []int) []int {
+	n := c.Dataset.Blocks
+	var out []int
+	for i := 0; i < n; i++ {
+		b := i
+		if order != nil {
+			b = order[i]
+		}
+		if i%c.GroupSize == c.Rank {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// AssignedSlice splits an arbitrary work list (e.g. particle seeds)
+// contiguously across the group, the static distribution whose imbalance
+// the paper's Figure 13 exhibits.
+func AssignedSlice(total, rank, groupSize int) (lo, hi int) {
+	lo = total * rank / groupSize
+	hi = total * (rank + 1) / groupSize
+	return
+}
+
+// Param reads a string parameter from the request.
+func (c *Ctx) Param(key, def string) string {
+	if v, ok := c.Req.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// FloatParam reads a float parameter from the request.
+func (c *Ctx) FloatParam(key string, def float64) float64 { return c.Req.FloatParam(key, def) }
+
+// IntParam reads an integer parameter from the request.
+func (c *Ctx) IntParam(key string, def int) int { return c.Req.IntParam(key, def) }
+
+// StepParam returns the requested time step, clamped to the data set.
+func (c *Ctx) StepParam() int {
+	s := c.IntParam("step", 0)
+	if s < 0 {
+		s = 0
+	}
+	if s >= c.Dataset.Steps {
+		s = c.Dataset.Steps - 1
+	}
+	return s
+}

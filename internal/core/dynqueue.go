@@ -1,0 +1,56 @@
+package core
+
+import "sync"
+
+// Dynamic work distribution: the paper notes that without "a highly
+// elaborated scheduling algorithm that balances workload in an almost
+// optimum manner" some workers always finish early (§5.2), and attributes
+// the pathline command's bad scalability to exactly that static imbalance
+// (§7.3). As an extension, commands may claim work items one at a time from
+// a per-request queue held at the scheduler node; every claim costs a
+// round trip on the fabric, so the balance-versus-communication trade-off
+// is priced, not free.
+
+type dynQueue struct {
+	mu    sync.Mutex
+	next  int
+	total int
+}
+
+// claimWork returns the next unclaimed index of the request's shared work
+// list, or ok=false when all `total` items are taken. The first caller
+// fixes the total; all group members must pass the same value.
+func (rt *Runtime) claimWork(reqID uint64, total int) (int, bool) {
+	rt.mu.Lock()
+	q := rt.dynamic[reqID]
+	if q == nil {
+		q = &dynQueue{total: total}
+		rt.dynamic[reqID] = q
+	}
+	rt.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.next >= q.total {
+		return 0, false
+	}
+	i := q.next
+	q.next++
+	return i, true
+}
+
+// dropWorkQueue removes a request's dynamic queue once the request is done.
+func (rt *Runtime) dropWorkQueue(reqID uint64) {
+	rt.mu.Lock()
+	delete(rt.dynamic, reqID)
+	rt.mu.Unlock()
+}
+
+// ClaimWork returns the next index of this request's shared work list
+// (seeds, blocks), or ok=false when the list is exhausted. Each claim
+// charges one fabric round trip to the scheduler — dynamic balance is not
+// free. All group members must call with the same total.
+func (c *Ctx) ClaimWork(total int) (int, bool) {
+	// Claim round trip: ask the scheduler-side queue, get the reply.
+	c.rt.Clock.Sleep(2 * c.rt.Net.Latency)
+	return c.rt.claimWork(c.Req.ReqID, total)
+}

@@ -1,0 +1,214 @@
+// Package core is Viracocha's second layer (paper §3): the scheduler that
+// accepts commands from the visualization client, the pool of workers that
+// form work groups to execute them, the streaming machinery that ships
+// partial results back before completion, and the timing probes behind the
+// paper's compute/read/send breakdowns. Concrete extraction algorithms live
+// one layer up (internal/commands) and plug in through the Command
+// interface, so exchanging the top layer repurposes the framework.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/dataset"
+	"viracocha/internal/dms"
+	"viracocha/internal/grid"
+	"viracocha/internal/loader"
+	"viracocha/internal/prefetch"
+	"viracocha/internal/storage"
+	"viracocha/internal/vclock"
+)
+
+// Config assembles a runtime.
+type Config struct {
+	// Workers is the size of the worker pool.
+	Workers int
+	// Net models the scheduler/worker/client interconnect.
+	NetLatency   time.Duration
+	NetBandwidth float64
+	// DMS configures the data management system.
+	DMS dms.Config
+	// Cost converts real work counts into charged virtual time.
+	Cost CostModel
+	// PrefetcherFor builds the system prefetcher for a worker's proxy; nil
+	// means no system prefetching. It is called once per worker so policies
+	// that learn (Markov) can be shared or per-node as the caller decides.
+	PrefetcherFor func(node string) prefetch.Prefetcher
+}
+
+// DefaultConfig returns a runtime configuration resembling the paper's
+// environment at laptop scale.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:      workers,
+		NetLatency:   50 * time.Microsecond,
+		NetBandwidth: 1e9,
+		DMS:          dms.DefaultConfig(),
+		Cost:         DefaultCostModel(),
+	}
+}
+
+// Runtime owns the clock, the fabric, the DMS, the scheduler and the worker
+// pool of one Viracocha instance.
+type Runtime struct {
+	Clock    vclock.Clock
+	Net      *comm.Network
+	DMS      *dms.Server
+	Cost     CostModel
+	Sched    *Scheduler
+	Workers  []*Worker
+	Datasets map[string]*dataset.Desc
+
+	mu        sync.Mutex
+	registry  map[string]Command
+	devices   map[string]*storage.Device
+	dynamic   map[uint64]*dynQueue
+	cancelled map[uint64]bool
+	reqSeq    uint64
+	clientSeq uint64
+}
+
+// NewRuntime assembles (but does not start) a runtime on the given clock.
+// Storage devices and data sets are registered afterwards, then Start spawns
+// the scheduler and worker actors.
+func NewRuntime(c vclock.Clock, cfg Config) *Runtime {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	rt := &Runtime{
+		Clock:     c,
+		Net:       comm.NewNetwork(c, cfg.NetLatency, cfg.NetBandwidth),
+		Cost:      cfg.Cost,
+		Datasets:  map[string]*dataset.Desc{},
+		registry:  map[string]Command{},
+		devices:   map[string]*storage.Device{},
+		dynamic:   map[uint64]*dynQueue{},
+		cancelled: map[uint64]bool{},
+	}
+	rt.DMS = dms.NewServer(c, cfg.DMS)
+	rt.Sched = newScheduler(rt)
+	for i := 0; i < cfg.Workers; i++ {
+		node := fmt.Sprintf("w%d", i)
+		var pf prefetch.Prefetcher
+		if cfg.PrefetcherFor != nil {
+			pf = cfg.PrefetcherFor(node)
+		}
+		rt.Workers = append(rt.Workers, newWorker(rt, node, pf))
+	}
+	return rt
+}
+
+// RegisterDataset makes a data set available to commands.
+func (rt *Runtime) RegisterDataset(d *dataset.Desc) { rt.Datasets[d.Name] = d }
+
+// RegisterDevice adds a storage device as a loading source for all worker
+// proxies (call before Start; devices registered later are not picked up by
+// existing selectors).
+func (rt *Runtime) RegisterDevice(dev *storage.Device, bytesFor func(grid.BlockID) int64) {
+	rt.mu.Lock()
+	rt.devices[dev.Name] = dev
+	rt.mu.Unlock()
+	rt.DMS.AddSource(&loader.DeviceSource{Dev: dev, BytesFor: bytesFor})
+}
+
+// Device returns a registered device by name (nil when unknown); Simple*
+// commands use it to bypass the DMS.
+func (rt *Runtime) Device(name string) *storage.Device {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.devices[name]
+}
+
+// AnyDevice returns an arbitrary registered device (the common single-disk
+// case) or nil.
+func (rt *Runtime) AnyDevice() *storage.Device {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, d := range rt.devices {
+		return d
+	}
+	return nil
+}
+
+// markCancelled flags a request; running commands observe it via
+// Ctx.Cancelled at their next poll point.
+func (rt *Runtime) markCancelled(reqID uint64) {
+	rt.mu.Lock()
+	rt.cancelled[reqID] = true
+	rt.mu.Unlock()
+}
+
+// isCancelled reports whether the request was cancelled.
+func (rt *Runtime) isCancelled(reqID uint64) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.cancelled[reqID]
+}
+
+// clearCancelled drops the flag once the request has fully finished.
+func (rt *Runtime) clearCancelled(reqID uint64) {
+	rt.mu.Lock()
+	delete(rt.cancelled, reqID)
+	rt.mu.Unlock()
+}
+
+// SetPrefetcherFactory replaces the system-prefetcher factory for all
+// workers. It must be called before Start (proxies are built at Start).
+func (rt *Runtime) SetPrefetcherFactory(f func(node string) prefetch.Prefetcher) {
+	for _, w := range rt.Workers {
+		w.pf = f(w.node)
+	}
+}
+
+// Register adds a command implementation to the layer-3 registry.
+func (rt *Runtime) Register(cmd Command) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.registry[cmd.Name()]; dup {
+		panic("core: duplicate command " + cmd.Name())
+	}
+	rt.registry[cmd.Name()] = cmd
+}
+
+// Lookup resolves a command by name.
+func (rt *Runtime) Lookup(name string) (Command, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c, ok := rt.registry[name]
+	return c, ok
+}
+
+// NextReqID issues a fresh request identifier.
+func (rt *Runtime) NextReqID() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.reqSeq++
+	return rt.reqSeq
+}
+
+// NextClientID issues a fresh client endpoint number.
+func (rt *Runtime) NextClientID() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.clientSeq++
+	return rt.clientSeq
+}
+
+// Start spawns the scheduler and worker actors. The runtime runs until
+// Shutdown.
+func (rt *Runtime) Start() {
+	for _, w := range rt.Workers {
+		w.start()
+	}
+	rt.Sched.start()
+}
+
+// Shutdown asks the scheduler to stop; it forwards the shutdown to all
+// workers. Must be called from an actor (e.g. the client actor) so the
+// message send has a time context.
+func (rt *Runtime) Shutdown() {
+	rt.Net.Endpoint("control").Send("scheduler", comm.Message{Kind: "shutdown"})
+}

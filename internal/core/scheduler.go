@@ -1,0 +1,247 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"viracocha/internal/comm"
+)
+
+// RequestStats is the server-side record of one request: the timings the
+// paper's figures are built from.
+type RequestStats struct {
+	ReqID    uint64
+	Command  string
+	Workers  int
+	Received time.Duration // command arrival at the scheduler
+	Started  time.Duration // work group dispatched
+	End      time.Duration // last worker reported done
+	Probes   Probes        // summed over the group
+	Streams  int           // partial packets streamed to the client
+	Errors   int
+}
+
+// TotalRuntime is the paper's "total runtime": dispatch to completion.
+func (s RequestStats) TotalRuntime() time.Duration { return s.End - s.Started }
+
+// Scheduler accepts commands from the client, forms work groups as workers
+// become free, dispatches, and records per-request statistics.
+type Scheduler struct {
+	rt *Runtime
+	ep *comm.Endpoint
+
+	mu       sync.Mutex
+	free     []string
+	pending  []comm.Message
+	active   map[uint64]*activeReq
+	finished map[uint64]RequestStats
+	draining bool
+}
+
+type activeReq struct {
+	stats     RequestStats
+	remaining int
+	members   []string
+}
+
+func newScheduler(rt *Runtime) *Scheduler {
+	return &Scheduler{
+		rt:       rt,
+		ep:       rt.Net.Endpoint("scheduler"),
+		active:   map[uint64]*activeReq{},
+		finished: map[uint64]RequestStats{},
+	}
+}
+
+func (s *Scheduler) start() {
+	for _, w := range s.rt.Workers {
+		s.free = append(s.free, w.node)
+	}
+	s.rt.Clock.Go(s.loop)
+}
+
+func (s *Scheduler) loop() {
+	for {
+		m, ok := s.ep.Recv()
+		if !ok {
+			return
+		}
+		switch m.Kind {
+		case "command":
+			s.mu.Lock()
+			s.pending = append(s.pending, m)
+			s.mu.Unlock()
+			s.dispatch()
+		case "wdone":
+			s.noteDone(m)
+			s.dispatch()
+			if s.maybeFinish() {
+				return
+			}
+		case "cancel":
+			// Flag the request; the workers observe it cooperatively. A
+			// cancel for an already-finished (or unknown) request is a
+			// harmless no-op.
+			s.mu.Lock()
+			_, active := s.active[m.ReqID]
+			s.mu.Unlock()
+			if active {
+				s.rt.markCancelled(m.ReqID)
+			}
+		case "shutdown":
+			s.mu.Lock()
+			s.draining = true
+			s.mu.Unlock()
+			if s.maybeFinish() {
+				return
+			}
+		}
+	}
+}
+
+// dispatch starts as many pending requests as free workers allow, in FIFO
+// order (a request at the head waiting for a big group blocks later ones —
+// the paper's scheduler is similarly conservative).
+func (s *Scheduler) dispatch() {
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		req := s.pending[0]
+		want := req.IntParam("workers", 1)
+		if want < 1 {
+			want = 1
+		}
+		if want > len(s.rt.Workers) {
+			want = len(s.rt.Workers)
+		}
+		if len(s.free) < want {
+			s.mu.Unlock()
+			return
+		}
+		members := append([]string(nil), s.free[:want]...)
+		s.free = s.free[want:]
+		s.pending = s.pending[1:]
+		ar := &activeReq{
+			stats: RequestStats{
+				ReqID:    req.ReqID,
+				Command:  req.Command,
+				Workers:  want,
+				Received: s.rt.Clock.Now(),
+				Started:  s.rt.Clock.Now(),
+			},
+			remaining: want,
+			members:   members,
+		}
+		s.active[req.ReqID] = ar
+		s.mu.Unlock()
+
+		group := strings.Join(members, ",")
+		for rank, node := range members {
+			start := comm.Message{
+				Kind:    "start",
+				Command: req.Command,
+				ReqID:   req.ReqID,
+				Params:  map[string]string{},
+			}
+			for k, v := range req.Params {
+				start.Params[k] = v
+			}
+			start.Params["rank"] = itoa(rank)
+			start.Params["group"] = group
+			s.ep.Send(node, start)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (s *Scheduler) noteDone(m comm.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ar, ok := s.active[m.ReqID]
+	if !ok {
+		return
+	}
+	ar.remaining--
+	ar.stats.Probes.Compute += time.Duration(int64FromString(m.Params["compute_ns"]))
+	ar.stats.Probes.Read += time.Duration(int64FromString(m.Params["read_ns"]))
+	ar.stats.Probes.Send += time.Duration(int64FromString(m.Params["send_ns"]))
+	ar.stats.Streams += m.IntParam("streams", 0)
+	if m.Params["error"] != "" {
+		ar.stats.Errors++
+	}
+	s.free = append(s.free, m.Params["worker"])
+	if ar.remaining == 0 {
+		ar.stats.End = s.rt.Clock.Now()
+		s.finished[m.ReqID] = ar.stats
+		delete(s.active, m.ReqID)
+		s.rt.dropWorkQueue(m.ReqID)
+		s.rt.clearCancelled(m.ReqID)
+	}
+}
+
+func int64FromString(v string) int64 {
+	var n int64
+	neg := false
+	for i, ch := range v {
+		if i == 0 && ch == '-' {
+			neg = true
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			return 0
+		}
+		n = n*10 + int64(ch-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// maybeFinish completes shutdown once draining and idle: it stops all
+// workers, closes the scheduler inbox and reports true.
+func (s *Scheduler) maybeFinish() bool {
+	s.mu.Lock()
+	idle := s.draining && len(s.active) == 0 && len(s.pending) == 0
+	s.mu.Unlock()
+	if !idle {
+		return false
+	}
+	for _, w := range s.rt.Workers {
+		s.ep.Send(w.node, comm.Message{Kind: "shutdown"})
+	}
+	s.ep.Close()
+	return true
+}
+
+// Stats returns the record of a finished request.
+func (s *Scheduler) Stats(reqID uint64) (RequestStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.finished[reqID]
+	return st, ok
+}
+
+// FinishedCount reports how many requests have completed.
+func (s *Scheduler) FinishedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.finished)
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/dms"
+	"viracocha/internal/mesh"
+	"viracocha/internal/prefetch"
+)
+
+// Worker is one computing node: an endpoint on the fabric, a DMS proxy, and
+// an actor loop executing work-group commands.
+type Worker struct {
+	rt    *Runtime
+	node  string
+	ep    *comm.Endpoint
+	pf    prefetch.Prefetcher
+	proxy *dms.Proxy
+}
+
+func newWorker(rt *Runtime, node string, pf prefetch.Prefetcher) *Worker {
+	return &Worker{
+		rt:   rt,
+		node: node,
+		ep:   rt.Net.Endpoint(node),
+		pf:   pf,
+	}
+}
+
+// Node reports the worker's node name.
+func (w *Worker) Node() string { return w.node }
+
+// Proxy exposes the worker's DMS proxy (tests and cache-priming).
+func (w *Worker) Proxy() *dms.Proxy { return w.proxy }
+
+// start creates the worker's data proxy — deferred to runtime start so the
+// proxy's loading strategies see every registered device — and spawns the
+// actor loop.
+func (w *Worker) start() {
+	w.proxy = w.rt.DMS.NewProxy(w.node, w.pf)
+	w.rt.Clock.Go(w.loop)
+}
+
+func (w *Worker) loop() {
+	for {
+		m, ok := w.ep.Recv()
+		if !ok {
+			return
+		}
+		switch m.Kind {
+		case "shutdown":
+			w.ep.Close()
+			return
+		case "start":
+			w.execute(m)
+		default:
+			// Stray message outside any command (e.g. a late partial after
+			// an error path): dropped.
+		}
+	}
+}
+
+// execute runs one command as a member of a work group.
+func (w *Worker) execute(start comm.Message) {
+	reqID := start.ReqID
+	rank := start.IntParam("rank", 0)
+	group := strings.Split(start.Params["group"], ",")
+	ds := w.rt.Datasets[start.Params["dataset"]]
+	cmd, found := w.rt.Lookup(start.Command)
+
+	ctx := &Ctx{
+		rt:        w.rt,
+		worker:    w,
+		Req:       start,
+		Rank:      rank,
+		GroupSize: len(group),
+		Group:     group,
+		Dataset:   ds,
+		Cost:      w.rt.Cost,
+	}
+
+	var partial *mesh.Mesh
+	var runErr error
+	switch {
+	case !found:
+		runErr = fmt.Errorf("core: unknown command %q", start.Command)
+	case ds == nil:
+		runErr = fmt.Errorf("core: unknown dataset %q", start.Params["dataset"])
+	default:
+		partial, runErr = cmd.Run(ctx)
+	}
+	if partial == nil {
+		partial = &mesh.Mesh{}
+	}
+
+	master := group[0]
+	if rank != 0 {
+		// Send the partial (or the error) to the master for gathering.
+		msg := comm.Message{
+			Kind:    "wpartial",
+			Command: start.Command,
+			ReqID:   reqID,
+			Params:  map[string]string{"worker": w.node},
+		}
+		if runErr != nil {
+			msg.Kind = "werror"
+			msg.Params["error"] = runErr.Error()
+		} else {
+			msg.Payload = partial.EncodeBinary()
+		}
+		sendStart := w.rt.Clock.Now()
+		w.ep.Send(master, msg)
+		ctx.probes.Send += w.rt.Clock.Now() - sendStart
+	} else {
+		w.masterGather(ctx, partial, runErr)
+	}
+	w.sendDone(ctx, reqID, runErr)
+}
+
+// masterGather collects the other workers' partials, merges everything into
+// one package and sends it to the visualization client — or an error message
+// when any member failed.
+func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
+	merged := &mesh.Mesh{}
+	merged.Append(own)
+	var firstErr error
+	if ownErr != nil {
+		firstErr = ownErr
+	}
+	for received := 1; received < ctx.GroupSize; {
+		m, ok := w.ep.Recv()
+		if !ok {
+			return
+		}
+		switch m.Kind {
+		case "wpartial", "werror":
+			if m.ReqID != ctx.Req.ReqID {
+				continue // stale message from an aborted request
+			}
+			received++
+			if m.Kind == "werror" {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %s", m.Params["worker"], m.Params["error"])
+				}
+				continue
+			}
+			part, err := mesh.DecodeBinary(m.Payload)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: corrupt partial from %s: %w", m.Params["worker"], err)
+				}
+				continue
+			}
+			ctx.Charge(ctx.Cost.MergeCost(part.NumTriangles()))
+			merged.Append(part)
+		default:
+			// Commands for this worker cannot arrive while it is busy; drop.
+		}
+	}
+	out := comm.Message{
+		Command: ctx.Req.Command,
+		ReqID:   ctx.Req.ReqID,
+		Final:   true,
+		Params:  map[string]string{"worker": w.node},
+	}
+	if firstErr != nil {
+		out.Kind = "error"
+		out.Params["error"] = firstErr.Error()
+	} else {
+		out.Kind = "result"
+		out.Payload = merged.EncodeBinary()
+	}
+	sendStart := w.rt.Clock.Now()
+	w.ep.Send(ctx.ClientEndpoint(), out)
+	ctx.probes.Send += w.rt.Clock.Now() - sendStart
+}
+
+// sendDone reports this worker's probes to the scheduler, freeing it for the
+// next work group.
+func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
+	p := ctx.probes
+	params := map[string]string{
+		"worker":     w.node,
+		"compute_ns": strconv.FormatInt(p.Compute.Nanoseconds(), 10),
+		"read_ns":    strconv.FormatInt(p.Read.Nanoseconds(), 10),
+		"send_ns":    strconv.FormatInt(p.Send.Nanoseconds(), 10),
+		"streams":    strconv.Itoa(ctx.streams),
+	}
+	if runErr != nil {
+		params["error"] = runErr.Error()
+	}
+	w.ep.Send("scheduler", comm.Message{
+		Kind:   "wdone",
+		ReqID:  reqID,
+		Params: params,
+	})
+}

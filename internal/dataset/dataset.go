@@ -1,0 +1,479 @@
+// Package dataset defines the synthetic multi-block CFD data sets that stand
+// in for the paper's proprietary test data (Table 1): "Engine", a 4-valve
+// combustion-engine intake flow with 63 time steps × 23 blocks, and
+// "Propfan", a counter-rotating aircraft-engine flow with 50 time steps ×
+// 144 blocks. Block and step counts match the paper; grid resolutions are
+// scaled to laptop budgets, while each descriptor also records the
+// *paper-scale* byte size per block, which the storage cost model charges
+// for I/O so that load-versus-compute ratios mirror the original hardware.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/mathx"
+)
+
+// Desc describes one data set: its structure (Table 1) and a deterministic
+// generator for any block of any time step.
+type Desc struct {
+	Name   string
+	Steps  int
+	Blocks int
+	// PaperBlockBytes is the average on-disk size of one block at the
+	// paper's full resolution; the simulated storage charges transfer time
+	// for this many bytes per block load.
+	PaperBlockBytes int64
+	// PaperSizeOnDisk is the total data set size quoted in Table 1.
+	PaperSizeOnDisk string
+	// Scale multiplies grid resolution per axis (1 = test scale).
+	Scale int
+
+	gen    func(d *Desc, step, block int) *grid.Block
+	bounds func(d *Desc, step, block int) grid.AABB
+}
+
+// Bounds returns the bounding box of a block *without* generating or loading
+// it — the analytic metadata a real multi-block data set carries in its
+// headers. The particle tracer uses it to decide which block to request.
+func (d *Desc) Bounds(step, block int) grid.AABB {
+	if step < 0 || step >= d.Steps || block < 0 || block >= d.Blocks {
+		panic(fmt.Sprintf("dataset %s: bounds out of range: step %d block %d", d.Name, step, block))
+	}
+	return d.bounds(d, step, block)
+}
+
+// arcBounds returns the exact bounding box of the annular sector
+// r ∈ [r0,r1], θ ∈ [th0,th1], z ∈ [z0,z1]: corner samples plus the axis
+// crossings of cos/sin inside the angular interval.
+func arcBounds(r0, r1, th0, th1, z0, z1 float64) grid.AABB {
+	box := grid.EmptyAABB()
+	add := func(th float64) {
+		for _, r := range [2]float64{r0, r1} {
+			box.Extend(mathx.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th), Z: z0})
+			box.Extend(mathx.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th), Z: z1})
+		}
+	}
+	add(th0)
+	add(th1)
+	for k := -4; k <= 8; k++ {
+		th := float64(k) * math.Pi / 2
+		if th > th0 && th < th1 {
+			add(th)
+		}
+	}
+	return box
+}
+
+// Generate builds block `block` of time step `step`. It panics on
+// out-of-range indices, which indicate a naming-layer bug.
+func (d *Desc) Generate(step, block int) *grid.Block {
+	if step < 0 || step >= d.Steps || block < 0 || block >= d.Blocks {
+		panic(fmt.Sprintf("dataset %s: block out of range: step %d block %d", d.Name, step, block))
+	}
+	return d.gen(d, step, block)
+}
+
+// GenerateStep builds all blocks of one time step.
+func (d *Desc) GenerateStep(step int) *grid.MultiBlock {
+	blocks := make([]*grid.Block, d.Blocks)
+	for b := range blocks {
+		blocks[b] = d.Generate(step, b)
+	}
+	return grid.NewMultiBlock(d.Name, step, blocks)
+}
+
+// WithScale returns a copy of the descriptor with grid resolution scaled by
+// s per axis (s ≥ 1).
+func (d Desc) WithScale(s int) *Desc {
+	if s < 1 {
+		s = 1
+	}
+	d.Scale = s
+	return &d
+}
+
+// Engine returns the descriptor of the synthetic combustion-engine intake
+// data set: a cylinder of bore radius 50 mm and height 100 mm decomposed
+// into 23 curvilinear wedge blocks, carrying an unsteady swirl + tumble +
+// intake-jet flow. 1.12 GB over 63 steps in the paper.
+func Engine() *Desc {
+	return &Desc{
+		Name:            "engine",
+		Steps:           63,
+		Blocks:          23,
+		PaperBlockBytes: int64(1.12e9) / 63 / 23,
+		PaperSizeOnDisk: "1.12 GB",
+		Scale:           1,
+		gen:             genEngine,
+		bounds:          engineBounds,
+	}
+}
+
+// Propfan returns the descriptor of the synthetic propfan data set: an
+// annular duct decomposed into 144 blocks (12 sectors × 3 axial stages × 4
+// radial shells) with two counter-rotating fan stages shedding tip vortices.
+// 19.5 GB over 50 steps in the paper.
+func Propfan() *Desc {
+	return &Desc{
+		Name:            "propfan",
+		Steps:           50,
+		Blocks:          144,
+		PaperBlockBytes: int64(19.5e9) / 50 / 144,
+		PaperSizeOnDisk: "19.5 GB",
+		Scale:           1,
+		gen:             genPropfan,
+		bounds:          propfanBounds,
+	}
+}
+
+// Tiny returns a minimal 2-step × 4-block data set used by unit tests.
+func Tiny() *Desc {
+	return &Desc{
+		Name:            "tiny",
+		Steps:           2,
+		Blocks:          4,
+		PaperBlockBytes: 1 << 16,
+		PaperSizeOnDisk: "512 KB",
+		Scale:           1,
+		gen:             genTiny,
+		bounds:          tinyBounds,
+	}
+}
+
+// Catalog returns all registered data sets keyed by name.
+func Catalog() map[string]*Desc {
+	return map[string]*Desc{
+		"engine":        Engine(),
+		"engine-moving": EngineMoving(),
+		"propfan":       Propfan(),
+		"tiny":          Tiny(),
+	}
+}
+
+// ByName looks a descriptor up by name.
+func ByName(name string) (*Desc, error) {
+	d, ok := Catalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown data set %q", name)
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Engine: cylinder split into 23 wedges, swirl/tumble/jet flow.
+
+func genEngine(d *Desc, step, block int) *grid.Block {
+	const (
+		r0 = 0.008 // hub hole avoids degenerate wedge tips
+		r1 = 0.050 // bore radius
+		h  = 0.100 // cylinder height
+	)
+	nr := 9*d.Scale + 1
+	nt := 5*d.Scale + 1
+	nz := 13*d.Scale + 1
+	b := grid.NewBlock(grid.BlockID{Dataset: d.Name, Step: step, Block: block}, nr, nt, nz)
+	pr := b.EnsureScalar("pressure")
+	th0 := 2 * math.Pi * float64(block) / float64(d.Blocks)
+	th1 := 2 * math.Pi * float64(block+1) / float64(d.Blocks)
+	t := float64(step) / float64(d.Steps) // normalized crank time
+	for k := 0; k < nz; k++ {
+		z := h * float64(k) / float64(nz-1)
+		for j := 0; j < nt; j++ {
+			th := th0 + (th1-th0)*float64(j)/float64(nt-1)
+			for i := 0; i < nr; i++ {
+				r := r0 + (r1-r0)*float64(i)/float64(nr-1)
+				p := mathx.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th), Z: z}
+				b.SetPoint(i, j, k, p)
+				v, press := engineFlow(p, r, th, z, t)
+				b.SetVel(i, j, k, v)
+				pr[b.Index(i, j, k)] = float32(press)
+			}
+		}
+	}
+	return b
+}
+
+// engineFlow is the analytic in-cylinder flow: solid-body swirl whose rate
+// decays along the axis, a tumble vortex about the y axis, and an annular
+// intake jet pulsing with crank time.
+func engineFlow(p mathx.Vec3, r, th, z, t float64) (mathx.Vec3, float64) {
+	const (
+		r1    = 0.050
+		h     = 0.100
+		omega = 300.0 // swirl rate, rad/s
+		w0    = 25.0  // peak jet velocity, m/s
+	)
+	// Swirl, decaying toward the piston (z→h).
+	swirl := omega * (1 - 0.5*z/h)
+	vx := -swirl * p.Y
+	vy := swirl * p.X
+	// Annular intake jet at r_j with gaussian profile, pulsing with time.
+	rj := 0.6 * r1
+	sg := 0.18 * r1
+	jet := -w0 * math.Exp(-((r-rj)*(r-rj))/(2*sg*sg)) * (0.7 + 0.3*math.Sin(2*math.Pi*t))
+	// Tumble: rotation about the y axis through the cylinder centre.
+	const tumble = 120.0
+	zc := z - h/2
+	vx += tumble * zc
+	vz := jet - tumble*p.X
+	// Pressure: centrifugal head + jet suction; range is O(1e3) Pa.
+	press := 0.5*1.2*swirl*swirl*r*r - 0.5*1.2*jet*jet + 800*(1-z/h)
+	return mathx.Vec3{X: vx, Y: vy, Z: vz}, press
+}
+
+// ---------------------------------------------------------------------------
+// Propfan: annular duct, 12 sectors × 3 stages × 4 shells = 144 blocks.
+
+const (
+	pfSectors = 12
+	pfStages  = 3
+	pfShells  = 4
+	pfRHub    = 0.30
+	pfRTip    = 1.00
+	pfLen     = 3.00
+)
+
+// PropfanBlockCoords decomposes a propfan block index into (sector, stage,
+// shell). Exported for tests and for the bench harness's workload notes.
+func PropfanBlockCoords(block int) (sector, stage, shell int) {
+	sector = block % pfSectors
+	stage = (block / pfSectors) % pfStages
+	shell = block / (pfSectors * pfStages)
+	return
+}
+
+func genPropfan(d *Desc, step, block int) *grid.Block {
+	sector, stage, shell := PropfanBlockCoords(block)
+	nr := 5*d.Scale + 1
+	nt := 5*d.Scale + 1
+	nz := 7*d.Scale + 1
+	b := grid.NewBlock(grid.BlockID{Dataset: d.Name, Step: step, Block: block}, nr, nt, nz)
+	pr := b.EnsureScalar("pressure")
+	th0 := 2 * math.Pi * float64(sector) / pfSectors
+	th1 := 2 * math.Pi * float64(sector+1) / pfSectors
+	z0 := pfLen * float64(stage) / pfStages
+	z1 := pfLen * float64(stage+1) / pfStages
+	rr0 := pfRHub + (pfRTip-pfRHub)*float64(shell)/pfShells
+	rr1 := pfRHub + (pfRTip-pfRHub)*float64(shell+1)/pfShells
+	t := float64(step) / float64(d.Steps)
+	for k := 0; k < nz; k++ {
+		z := z0 + (z1-z0)*float64(k)/float64(nz-1)
+		for j := 0; j < nt; j++ {
+			th := th0 + (th1-th0)*float64(j)/float64(nt-1)
+			for i := 0; i < nr; i++ {
+				r := rr0 + (rr1-rr0)*float64(i)/float64(nr-1)
+				p := mathx.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th), Z: z}
+				b.SetPoint(i, j, k, p)
+				v, press := propfanFlow(p, r, th, z, t)
+				b.SetVel(i, j, k, v)
+				pr[b.Index(i, j, k)] = float32(press)
+			}
+		}
+	}
+	return b
+}
+
+// propfanFlow models axial through-flow, stage swirl that reverses sign
+// behind the second rotor (counter-rotation), and two rings of Lamb-Oseen
+// tip vortices shed by the blades, rotating with time in opposite senses.
+func propfanFlow(p mathx.Vec3, r, th, z, t float64) (mathx.Vec3, float64) {
+	const (
+		wAxial  = 40.0 // m/s through-flow
+		swirl0  = 30.0 // stage swirl amplitude at tip radius
+		nBlades = 8
+		rCore   = 0.85 // tip-vortex ring radius
+		coreSz  = 0.06 // vortex core radius
+		gamma   = 6.0  // circulation per vortex
+	)
+	// Stage swirl: +Ω after rotor 1 (z>1), −Ω after rotor 2 (z>2).
+	var sw float64
+	switch {
+	case z < 1.0:
+		sw = 0
+	case z < 2.0:
+		sw = swirl0 * (z - 1.0)
+	default:
+		sw = swirl0 * (1 - 2*(z-2.0)) // crosses zero and reverses
+	}
+	vx := -sw * p.Y / math.Max(r, 1e-9)
+	vy := sw * p.X / math.Max(r, 1e-9)
+	vz := wAxial * (1 - 0.3*math.Pow((r-rCore)/(pfRTip-pfRHub), 2))
+	// Tip vortices: ring 1 rotates +, ring 2 rotates −. Each contributes an
+	// in-plane Lamb-Oseen swirl about its (axial) core line.
+	for ring := 0; ring < 2; ring++ {
+		sign := 1.0
+		rot := 2 * math.Pi * t
+		zc := 1.0
+		if ring == 1 {
+			sign = -1
+			rot = -2 * math.Pi * t
+			zc = 2.0
+		}
+		// Vortices decay away from their shedding plane.
+		axial := math.Exp(-(z - zc) * (z - zc) / 0.5)
+		if axial < 1e-3 {
+			continue
+		}
+		for bld := 0; bld < nBlades; bld++ {
+			phi := 2*math.Pi*float64(bld)/nBlades + rot
+			cx := rCore * math.Cos(phi)
+			cy := rCore * math.Sin(phi)
+			dx := p.X - cx
+			dy := p.Y - cy
+			d2 := dx*dx + dy*dy
+			if d2 > 0.25 { // cutoff: negligible induction
+				continue
+			}
+			d := math.Sqrt(d2 + 1e-12)
+			ut := sign * axial * gamma / (2 * math.Pi * d) * (1 - math.Exp(-d2/(coreSz*coreSz)))
+			vx += -ut * dy / d
+			vy += ut * dx / d
+		}
+	}
+	press := -0.5 * 1.2 * (vx*vx + vy*vy + vz*vz) // Bernoulli-style, O(−1e3)
+	return mathx.Vec3{X: vx, Y: vy, Z: vz}, press
+}
+
+// ---------------------------------------------------------------------------
+// Tiny: axis-aligned boxes with a rigid-rotation flow for tests.
+
+func genTiny(d *Desc, step, block int) *grid.Block {
+	n := 4*d.Scale + 1
+	b := grid.NewBlock(grid.BlockID{Dataset: d.Name, Step: step, Block: block}, n, n, n)
+	pr := b.EnsureScalar("pressure")
+	ox := float64(block) // blocks abut along x
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				p := mathx.Vec3{
+					X: ox + float64(i)/float64(n-1),
+					Y: float64(j) / float64(n-1),
+					Z: float64(k) / float64(n-1),
+				}
+				b.SetPoint(i, j, k, p)
+				b.SetVel(i, j, k, mathx.Vec3{X: -(p.Y - 0.5), Y: p.X - 0.5, Z: 0.1})
+				pr[b.Index(i, j, k)] = float32(p.X + float64(step))
+			}
+		}
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Analytic per-block bounds (metadata, no generation needed).
+
+func engineBounds(d *Desc, step, block int) grid.AABB {
+	const (
+		r0 = 0.008
+		r1 = 0.050
+		h  = 0.100
+	)
+	th0 := 2 * math.Pi * float64(block) / float64(d.Blocks)
+	th1 := 2 * math.Pi * float64(block+1) / float64(d.Blocks)
+	return arcBounds(r0, r1, th0, th1, 0, h)
+}
+
+func propfanBounds(d *Desc, step, block int) grid.AABB {
+	sector, stage, shell := PropfanBlockCoords(block)
+	th0 := 2 * math.Pi * float64(sector) / pfSectors
+	th1 := 2 * math.Pi * float64(sector+1) / pfSectors
+	z0 := pfLen * float64(stage) / pfStages
+	z1 := pfLen * float64(stage+1) / pfStages
+	rr0 := pfRHub + (pfRTip-pfRHub)*float64(shell)/pfShells
+	rr1 := pfRHub + (pfRTip-pfRHub)*float64(shell+1)/pfShells
+	return arcBounds(rr0, rr1, th0, th1, z0, z1)
+}
+
+func tinyBounds(d *Desc, step, block int) grid.AABB {
+	box := grid.EmptyAABB()
+	box.Extend(mathx.Vec3{X: float64(block)})
+	box.Extend(mathx.Vec3{X: float64(block) + 1, Y: 1, Z: 1})
+	return box
+}
+
+// ---------------------------------------------------------------------------
+// EngineMoving: the engine with a moving piston — the grid geometry changes
+// per time step, the regime of the paper's pathline reference ("Parallel
+// Calculation of Accurate Path Lines using Multi-Block CFD Datasets with
+// Changing Geometry", Gerndt et al. 2003). The cylinder height follows the
+// crank, and the flow gains the piston-induced axial compression velocity.
+
+// EngineMoving returns the moving-piston engine variant: same 63×23 block
+// structure, but each time step has its own grid geometry.
+func EngineMoving() *Desc {
+	return &Desc{
+		Name:            "engine-moving",
+		Steps:           63,
+		Blocks:          23,
+		PaperBlockBytes: int64(1.12e9) / 63 / 23,
+		PaperSizeOnDisk: "1.12 GB",
+		Scale:           1,
+		gen:             genEngineMoving,
+		bounds:          engineMovingBounds,
+	}
+}
+
+// pistonHeight is the crank-dependent cylinder height: full at TDC of the
+// intake stroke (t=0), compressed mid-cycle.
+func pistonHeight(t float64) float64 {
+	const h0 = 0.100
+	return h0 * (0.65 + 0.35*math.Cos(2*math.Pi*t))
+}
+
+// pistonSpeed is dh/dt.
+func pistonSpeed(t float64) float64 {
+	const h0 = 0.100
+	return -h0 * 0.35 * 2 * math.Pi * math.Sin(2*math.Pi*t)
+}
+
+func genEngineMoving(d *Desc, step, block int) *grid.Block {
+	const (
+		r0 = 0.008
+		r1 = 0.050
+	)
+	nr := 9*d.Scale + 1
+	nt := 5*d.Scale + 1
+	nz := 13*d.Scale + 1
+	b := grid.NewBlock(grid.BlockID{Dataset: d.Name, Step: step, Block: block}, nr, nt, nz)
+	pr := b.EnsureScalar("pressure")
+	th0 := 2 * math.Pi * float64(block) / float64(d.Blocks)
+	th1 := 2 * math.Pi * float64(block+1) / float64(d.Blocks)
+	t := float64(step) / float64(d.Steps)
+	h := pistonHeight(t)
+	hdot := pistonSpeed(t)
+	for k := 0; k < nz; k++ {
+		zfrac := float64(k) / float64(nz-1)
+		z := h * zfrac
+		for j := 0; j < nt; j++ {
+			th := th0 + (th1-th0)*float64(j)/float64(nt-1)
+			for i := 0; i < nr; i++ {
+				r := r0 + (r1-r0)*float64(i)/float64(nr-1)
+				p := mathx.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th), Z: z}
+				b.SetPoint(i, j, k, p)
+				v, press := engineFlow(p, r, th, z, t)
+				// Piston-driven axial velocity: grid points move with
+				// z/h·dh/dt, and so does the gas column.
+				v.Z += zfrac * hdot
+				// Quasi-static compression pressure rise.
+				press += 400 * (0.100 - h) / 0.100
+				b.SetVel(i, j, k, v)
+				pr[b.Index(i, j, k)] = float32(press)
+			}
+		}
+	}
+	return b
+}
+
+func engineMovingBounds(d *Desc, step, block int) grid.AABB {
+	const (
+		r0 = 0.008
+		r1 = 0.050
+	)
+	th0 := 2 * math.Pi * float64(block) / float64(d.Blocks)
+	th1 := 2 * math.Pi * float64(block+1) / float64(d.Blocks)
+	t := float64(step) / float64(d.Steps)
+	return arcBounds(r0, r1, th0, th1, 0, pistonHeight(t))
+}

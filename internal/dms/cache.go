@@ -1,0 +1,245 @@
+package dms
+
+import (
+	"sync"
+	"time"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/vclock"
+)
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Puts          int64
+	Evictions     int64
+	BytesEvicted  int64
+	PrefetchPuts  int64 // items inserted by the prefetcher
+	PrefetchUsed  int64 // prefetched items later hit by a demand request
+	RejectedLarge int64 // items larger than the whole cache
+}
+
+// entry is one cached item.
+type entry struct {
+	id         ItemID
+	block      *grid.Block
+	size       int64
+	prefetched bool
+}
+
+// Evicted describes an item pushed out of a cache, so a tiered cache can
+// spill it to the next level.
+type Evicted struct {
+	ID    ItemID
+	Block *grid.Block
+	Size  int64
+}
+
+// Cache is a byte-capacity block cache with a pluggable replacement policy.
+// It is safe for concurrent use.
+type Cache struct {
+	name     string
+	capacity int64
+
+	mu     sync.Mutex
+	used   int64
+	items  map[ItemID]*entry
+	policy Policy
+	stats  CacheStats
+}
+
+// NewCache builds a cache with the given byte capacity and policy.
+func NewCache(name string, capacity int64, policy Policy) *Cache {
+	return &Cache{name: name, capacity: capacity, items: map[ItemID]*entry{}, policy: policy}
+}
+
+// Get returns the cached block, updating policy and statistics. A demand hit
+// on a prefetched item counts it as a useful prefetch.
+func (c *Cache) Get(id ItemID) (*grid.Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[id]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	if e.prefetched {
+		c.stats.PrefetchUsed++
+		e.prefetched = false
+	}
+	c.policy.Touch(id)
+	return e.block, true
+}
+
+// Peek reports whether the item is cached without perturbing the policy or
+// statistics; the peer-transfer source uses it for availability checks.
+func (c *Cache) Peek(id ItemID) (*grid.Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[id]
+	if !ok {
+		return nil, false
+	}
+	return e.block, true
+}
+
+// Put inserts a block, evicting per policy until it fits, and returns the
+// evicted items so a tiered cache can spill them. Items larger than the
+// whole cache are rejected (returned in Evicted with ok=false semantics is
+// avoided; they are simply not cached and counted).
+func (c *Cache) Put(id ItemID, b *grid.Block, prefetched bool) []Evicted {
+	size := b.SizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[id]; ok {
+		// Re-insert of a cached item: refresh recency; a demand re-insert
+		// clears the prefetched mark.
+		c.policy.Touch(id)
+		if !prefetched {
+			e.prefetched = false
+		}
+		return nil
+	}
+	if size > c.capacity {
+		c.stats.RejectedLarge++
+		return nil
+	}
+	var out []Evicted
+	for c.used+size > c.capacity {
+		vid, ok := c.policy.Victim()
+		if !ok {
+			break
+		}
+		ve := c.items[vid]
+		c.policy.Remove(vid)
+		delete(c.items, vid)
+		c.used -= ve.size
+		c.stats.Evictions++
+		c.stats.BytesEvicted += ve.size
+		out = append(out, Evicted{ID: vid, Block: ve.block, Size: ve.size})
+	}
+	c.items[id] = &entry{id: id, block: b, size: size, prefetched: prefetched}
+	c.policy.Insert(id)
+	c.used += size
+	c.stats.Puts++
+	if prefetched {
+		c.stats.PrefetchPuts++
+	}
+	return out
+}
+
+// Remove drops an item if present.
+func (c *Cache) Remove(id ItemID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[id]; ok {
+		c.policy.Remove(id)
+		delete(c.items, id)
+		c.used -= e.size
+	}
+}
+
+// Clear empties the cache (used to produce cold-cache measurements).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id := range c.items {
+		c.policy.Remove(id)
+	}
+	c.items = map[ItemID]*entry{}
+	c.used = 0
+}
+
+// Used reports the occupied bytes.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len reports the number of cached items.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats returns a copy of the statistics.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Tiered is the paper's two-tier cache: a primary cache in main memory and
+// an optional secondary cache on the node's local disk. Primary evictions
+// spill to the secondary; secondary hits are promoted back, charging the
+// local-disk read cost to the requesting actor.
+type Tiered struct {
+	Clock vclock.Clock
+	L1    *Cache
+	L2    *Cache // may be nil: no secondary cache
+	// SpillCost and PromoteCost model local-disk write/read of an item of
+	// the given size. Nil means free.
+	SpillCost   func(bytes int64) time.Duration
+	PromoteCost func(bytes int64) time.Duration
+}
+
+// Get looks the item up in L1 then L2, promoting on a secondary hit.
+func (t *Tiered) Get(id ItemID) (*grid.Block, bool) {
+	if b, ok := t.L1.Get(id); ok {
+		return b, true
+	}
+	if t.L2 == nil {
+		return nil, false
+	}
+	b, ok := t.L2.Get(id)
+	if !ok {
+		return nil, false
+	}
+	t.L2.Remove(id)
+	if t.PromoteCost != nil {
+		t.Clock.Sleep(t.PromoteCost(b.SizeBytes()))
+	}
+	t.insertL1(id, b, false)
+	return b, true
+}
+
+// Put inserts into the primary cache, spilling evictions to the secondary.
+func (t *Tiered) Put(id ItemID, b *grid.Block, prefetched bool) {
+	t.insertL1(id, b, prefetched)
+}
+
+func (t *Tiered) insertL1(id ItemID, b *grid.Block, prefetched bool) {
+	spilled := t.L1.Put(id, b, prefetched)
+	if t.L2 == nil {
+		return
+	}
+	for _, ev := range spilled {
+		if t.SpillCost != nil {
+			t.Clock.Sleep(t.SpillCost(ev.Size))
+		}
+		t.L2.Put(ev.ID, ev.Block, false)
+	}
+}
+
+// Peek checks both tiers without side effects.
+func (t *Tiered) Peek(id ItemID) (*grid.Block, bool) {
+	if b, ok := t.L1.Peek(id); ok {
+		return b, true
+	}
+	if t.L2 == nil {
+		return nil, false
+	}
+	return t.L2.Peek(id)
+}
+
+// Clear empties both tiers.
+func (t *Tiered) Clear() {
+	t.L1.Clear()
+	if t.L2 != nil {
+		t.L2.Clear()
+	}
+}

@@ -1,0 +1,246 @@
+package dms
+
+// Policy is a cache replacement policy over item IDs. The cache calls Insert
+// when an item enters, Touch on every re-reference, Victim to choose an
+// eviction candidate, and Remove when an item leaves. Policies are not
+// safe for concurrent use; the owning cache serializes access.
+type Policy interface {
+	Name() string
+	Insert(id ItemID)
+	Touch(id ItemID)
+	Victim() (ItemID, bool)
+	Remove(id ItemID)
+	Len() int
+}
+
+// recencyList keeps item IDs in most-recently-used-first order. Cache
+// populations are small (tens to hundreds of blocks), so O(n) maintenance
+// is simpler and fast enough; the asymptotics of the experiments live in
+// the data, not here.
+type recencyList struct {
+	order []ItemID // index 0 = most recently used
+}
+
+func (l *recencyList) insertFront(id ItemID) {
+	l.order = append(l.order, 0)
+	copy(l.order[1:], l.order)
+	l.order[0] = id
+}
+
+func (l *recencyList) indexOf(id ItemID) int {
+	for i, x := range l.order {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (l *recencyList) moveToFront(id ItemID) {
+	i := l.indexOf(id)
+	if i <= 0 {
+		if i < 0 {
+			l.insertFront(id)
+		}
+		return
+	}
+	copy(l.order[1:i+1], l.order[:i])
+	l.order[0] = id
+}
+
+func (l *recencyList) remove(id ItemID) {
+	i := l.indexOf(id)
+	if i < 0 {
+		return
+	}
+	l.order = append(l.order[:i], l.order[i+1:]...)
+}
+
+// LRU evicts the least recently used item.
+type LRU struct {
+	list recencyList
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (*LRU) Name() string { return "lru" }
+
+// Insert implements Policy.
+func (p *LRU) Insert(id ItemID) { p.list.insertFront(id) }
+
+// Touch implements Policy.
+func (p *LRU) Touch(id ItemID) { p.list.moveToFront(id) }
+
+// Victim implements Policy.
+func (p *LRU) Victim() (ItemID, bool) {
+	if len(p.list.order) == 0 {
+		return 0, false
+	}
+	return p.list.order[len(p.list.order)-1], true
+}
+
+// Remove implements Policy.
+func (p *LRU) Remove(id ItemID) { p.list.remove(id) }
+
+// Len implements Policy.
+func (p *LRU) Len() int { return len(p.list.order) }
+
+// LFU evicts the least frequently used item, breaking ties by recency.
+type LFU struct {
+	list   recencyList
+	counts map[ItemID]int64
+}
+
+// NewLFU returns an LFU policy.
+func NewLFU() *LFU { return &LFU{counts: map[ItemID]int64{}} }
+
+// Name implements Policy.
+func (*LFU) Name() string { return "lfu" }
+
+// Insert implements Policy.
+func (p *LFU) Insert(id ItemID) {
+	p.list.insertFront(id)
+	p.counts[id] = 1
+}
+
+// Touch implements Policy.
+func (p *LFU) Touch(id ItemID) {
+	p.list.moveToFront(id)
+	p.counts[id]++
+}
+
+// Victim implements Policy: the lowest count; among equals, the least
+// recently used.
+func (p *LFU) Victim() (ItemID, bool) {
+	if len(p.list.order) == 0 {
+		return 0, false
+	}
+	best := ItemID(0)
+	bestCount := int64(-1)
+	// Scan back-to-front so that on count ties the least recent wins.
+	for i := len(p.list.order) - 1; i >= 0; i-- {
+		id := p.list.order[i]
+		if c := p.counts[id]; bestCount == -1 || c < bestCount {
+			best, bestCount = id, c
+		}
+	}
+	return best, true
+}
+
+// Remove implements Policy.
+func (p *LFU) Remove(id ItemID) {
+	p.list.remove(id)
+	delete(p.counts, id)
+}
+
+// Len implements Policy.
+func (p *LFU) Len() int { return len(p.list.order) }
+
+// FBR is frequency-based replacement (Robinson & Devarakonda 1990), the
+// policy the paper found best for CFD request streams: an LRU-ordered list
+// is divided into a "new" section (most recent), a middle section and an
+// "old" section. Reference counts are incremented only for touches outside
+// the new section, factoring out bursts of correlated references; the
+// victim is the least frequently used item of the old section, ties broken
+// by recency.
+type FBR struct {
+	// FNew and FOld are the fractions of the list forming the new and old
+	// sections. The defaults follow the original paper's recommendation.
+	FNew, FOld float64
+
+	list   recencyList
+	counts map[ItemID]int64
+}
+
+// NewFBR returns an FBR policy with the canonical section sizes (30% new,
+// 30% old).
+func NewFBR() *FBR { return &FBR{FNew: 0.3, FOld: 0.3, counts: map[ItemID]int64{}} }
+
+// Name implements Policy.
+func (*FBR) Name() string { return "fbr" }
+
+// Insert implements Policy.
+func (p *FBR) Insert(id ItemID) {
+	p.list.insertFront(id)
+	p.counts[id] = 1
+}
+
+// Touch implements Policy.
+func (p *FBR) Touch(id ItemID) {
+	idx := p.list.indexOf(id)
+	if idx < 0 {
+		p.Insert(id)
+		return
+	}
+	newBoundary := p.sectionNew()
+	if idx >= newBoundary {
+		// Outside the new section: a genuine re-reference.
+		p.counts[id]++
+	}
+	p.list.moveToFront(id)
+}
+
+func (p *FBR) sectionNew() int {
+	n := int(p.FNew * float64(len(p.list.order)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (p *FBR) sectionOldStart() int {
+	n := len(p.list.order)
+	old := int(p.FOld * float64(n))
+	if old < 1 {
+		old = 1
+	}
+	start := n - old
+	if start < 0 {
+		start = 0
+	}
+	return start
+}
+
+// Victim implements Policy: the least frequently used item within the old
+// section, least recent on ties.
+func (p *FBR) Victim() (ItemID, bool) {
+	n := len(p.list.order)
+	if n == 0 {
+		return 0, false
+	}
+	start := p.sectionOldStart()
+	best := ItemID(0)
+	bestCount := int64(-1)
+	for i := n - 1; i >= start; i-- {
+		id := p.list.order[i]
+		if c := p.counts[id]; bestCount == -1 || c < bestCount {
+			best, bestCount = id, c
+		}
+	}
+	return best, true
+}
+
+// Remove implements Policy.
+func (p *FBR) Remove(id ItemID) {
+	p.list.remove(id)
+	delete(p.counts, id)
+}
+
+// Len implements Policy.
+func (p *FBR) Len() int { return len(p.list.order) }
+
+// NewPolicy builds a policy by name ("lru", "lfu", "fbr"); it panics on an
+// unknown name, which indicates a configuration typo.
+func NewPolicy(name string) Policy {
+	switch name {
+	case "lru":
+		return NewLRU()
+	case "lfu":
+		return NewLFU()
+	case "fbr":
+		return NewFBR()
+	}
+	panic("dms: unknown replacement policy " + name)
+}

@@ -1,0 +1,204 @@
+package dms
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRUVictimIsLeastRecent(t *testing.T) {
+	p := NewLRU()
+	p.Insert(1)
+	p.Insert(2)
+	p.Insert(3)
+	p.Touch(1) // order: 1,3,2
+	v, ok := p.Victim()
+	if !ok || v != 2 {
+		t.Fatalf("victim = %d,%v, want 2", v, ok)
+	}
+	p.Remove(2)
+	v, _ = p.Victim()
+	if v != 3 {
+		t.Fatalf("victim after remove = %d, want 3", v)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestLRUEmpty(t *testing.T) {
+	p := NewLRU()
+	if _, ok := p.Victim(); ok {
+		t.Fatal("empty LRU returned a victim")
+	}
+	p.Remove(42) // no-op, must not panic
+}
+
+func TestLFUVictimIsLeastFrequent(t *testing.T) {
+	p := NewLFU()
+	p.Insert(1)
+	p.Insert(2)
+	p.Insert(3)
+	p.Touch(1)
+	p.Touch(1)
+	p.Touch(2)
+	// counts: 1→3, 2→2, 3→1
+	v, ok := p.Victim()
+	if !ok || v != 3 {
+		t.Fatalf("victim = %d, want 3", v)
+	}
+}
+
+func TestLFUTieBrokenByRecency(t *testing.T) {
+	p := NewLFU()
+	p.Insert(1)
+	p.Insert(2) // both count 1; 1 is older
+	v, _ := p.Victim()
+	if v != 1 {
+		t.Fatalf("victim = %d, want least recent 1", v)
+	}
+}
+
+func TestFBRNewSectionDoesNotCount(t *testing.T) {
+	p := NewFBR()
+	for id := ItemID(1); id <= 10; id++ {
+		p.Insert(id)
+	}
+	// Item 10 is at the front (new section): touching it repeatedly must
+	// not inflate its count.
+	for i := 0; i < 5; i++ {
+		p.Touch(10)
+	}
+	if p.counts[10] != 1 {
+		t.Fatalf("count of new-section item = %d, want 1 (correlated references)", p.counts[10])
+	}
+	// Item 1 is at the back: touching it is a genuine re-reference.
+	p.Touch(1)
+	if p.counts[1] != 2 {
+		t.Fatalf("count of old-section item = %d, want 2", p.counts[1])
+	}
+}
+
+func TestFBRVictimLeastFrequentInOldSection(t *testing.T) {
+	p := NewFBR()
+	p.Insert(1)
+	p.Insert(2)
+	p.Insert(3)
+	// Re-reference item 1 while it is outside the new section: count 2.
+	p.Touch(1)
+	// Age items 1,3,2 to the back with fresh insertions (insertions do not
+	// inflate existing counts). Final order front→back: 10..4, 1, 3, 2 with
+	// counts 1 everywhere except item 1 (count 2).
+	for id := ItemID(4); id <= 10; id++ {
+		p.Insert(id)
+	}
+	// The old section is the least-recent 30% = {1, 3, 2}. LRU would evict
+	// item 2 (or 1 had it not been moved); FBR must evict the least
+	// frequent, skipping the hot item 1.
+	v, ok := p.Victim()
+	if !ok {
+		t.Fatal("no victim")
+	}
+	if v == 1 {
+		t.Fatal("FBR evicted the frequently used item despite its age")
+	}
+	if v != 2 {
+		t.Fatalf("victim = %d, want 2 (least frequent, least recent)", v)
+	}
+}
+
+func TestFBROutperformsLRUOnFrequencySkewedTrace(t *testing.T) {
+	// CFD-like trace: a small hot set re-referenced constantly (shared
+	// boundary blocks) plus a long scanning stream. LRU lets the scan flush
+	// the hot set; FBR keeps it. This is the paper's stated reason for
+	// choosing frequency-based policies.
+	trace := func() []ItemID {
+		rng := rand.New(rand.NewSource(7))
+		var out []ItemID
+		scan := ItemID(100)
+		for i := 0; i < 3000; i++ {
+			if rng.Intn(100) < 60 {
+				out = append(out, ItemID(rng.Intn(4))) // hot set 0..3
+			} else {
+				out = append(out, scan)
+				scan++
+			}
+		}
+		return out
+	}
+	missRate := func(p Policy, capacity int) float64 {
+		cached := map[ItemID]bool{}
+		misses := 0
+		for _, id := range trace() {
+			if cached[id] {
+				p.Touch(id)
+				continue
+			}
+			misses++
+			for len(cached) >= capacity {
+				v, ok := p.Victim()
+				if !ok {
+					break
+				}
+				p.Remove(v)
+				delete(cached, v)
+			}
+			p.Insert(id)
+			cached[id] = true
+		}
+		return float64(misses) / 3000
+	}
+	lru := missRate(NewLRU(), 8)
+	fbr := missRate(NewFBR(), 8)
+	if fbr >= lru {
+		t.Fatalf("FBR miss rate %.3f not better than LRU %.3f on skewed trace", fbr, lru)
+	}
+}
+
+func TestNewPolicyByName(t *testing.T) {
+	for _, name := range []string{"lru", "lfu", "fbr"} {
+		if p := NewPolicy(name); p.Name() != name {
+			t.Fatalf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown policy")
+		}
+	}()
+	NewPolicy("clock")
+}
+
+func TestPoliciesSurviveRandomOperations(t *testing.T) {
+	// Property: under arbitrary operation sequences, Len stays consistent
+	// and Victim always returns a currently present item.
+	for _, name := range []string{"lru", "lfu", "fbr"} {
+		p := NewPolicy(name)
+		rng := rand.New(rand.NewSource(11))
+		present := map[ItemID]bool{}
+		for op := 0; op < 2000; op++ {
+			id := ItemID(rng.Intn(30))
+			switch rng.Intn(3) {
+			case 0:
+				if !present[id] {
+					p.Insert(id)
+					present[id] = true
+				}
+			case 1:
+				if present[id] {
+					p.Touch(id)
+				}
+			case 2:
+				if v, ok := p.Victim(); ok {
+					if !present[v] {
+						t.Fatalf("%s: victim %d not present", name, v)
+					}
+					p.Remove(v)
+					delete(present, v)
+				}
+			}
+			if p.Len() != len(present) {
+				t.Fatalf("%s: Len=%d, want %d", name, p.Len(), len(present))
+			}
+		}
+	}
+}

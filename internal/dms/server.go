@@ -1,0 +1,253 @@
+package dms
+
+import (
+	"sync"
+	"time"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/loader"
+	"viracocha/internal/prefetch"
+	"viracocha/internal/vclock"
+)
+
+// Config parameterizes the DMS for one runtime.
+type Config struct {
+	// L1Bytes and L2Bytes are the per-proxy primary and secondary cache
+	// capacities; L2Bytes 0 disables the secondary cache.
+	L1Bytes int64
+	L2Bytes int64
+	// PolicyName selects the replacement policy: "lru", "lfu" or "fbr".
+	PolicyName string
+	// DecideCost is the round trip for asking the server which loading
+	// strategy to use (charged per load).
+	DecideCost time.Duration
+	// NameCost is the round trip for a remote name resolution.
+	NameCost time.Duration
+	// PeerLatency and PeerBandwidth model the interconnect used for peer
+	// transfers between proxies.
+	PeerLatency   time.Duration
+	PeerBandwidth float64
+	// LocalDiskBandwidth models the node-local disk that backs the
+	// secondary cache tier (spill/promote cost).
+	LocalDiskBandwidth float64
+	// DisablePeer turns the cooperative peer-transfer source off (used by
+	// the loading-strategy ablation).
+	DisablePeer bool
+}
+
+// DefaultConfig returns the configuration used by the experiments: 256 MB
+// primary cache, 1 GB secondary cache with FBR replacement, and
+// interconnect parameters resembling the paper's SMP node.
+func DefaultConfig() Config {
+	return Config{
+		L1Bytes:            256 << 20,
+		L2Bytes:            1 << 30,
+		PolicyName:         "fbr",
+		DecideCost:         200 * time.Microsecond,
+		NameCost:           200 * time.Microsecond,
+		PeerLatency:        100 * time.Microsecond,
+		PeerBandwidth:      400e6,
+		LocalDiskBandwidth: 80e6,
+	}
+}
+
+// Server is the centralized data-manager server residing at the scheduler
+// node: it runs the name server, registers every proxy, constructs their
+// adaptive loaders (including the peer-transfer source), and aggregates
+// statistics.
+type Server struct {
+	Clock  vclock.Clock
+	Names  *NameServer
+	Config Config
+
+	mu       sync.Mutex
+	sources  []loader.Source
+	proxies  []*Proxy
+	fetching map[ItemID]map[string]bool
+}
+
+// NewServer builds a data-manager server with the given base sources
+// (devices such as the local disk and the network file server).
+func NewServer(c vclock.Clock, cfg Config, sources ...loader.Source) *Server {
+	return &Server{Clock: c, Names: NewNameServer(), Config: cfg, sources: sources,
+		fetching: map[ItemID]map[string]bool{}}
+}
+
+// AddSource registers an additional base source for proxies created later.
+func (s *Server) AddSource(src loader.Source) {
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// NewProxy creates, registers and returns the data proxy for a node. Each
+// proxy gets its own two-tier cache and an adaptive selector over the base
+// sources plus a peer source covering all *other* proxies' caches.
+func (s *Server) NewProxy(node string, pf prefetch.Prefetcher) *Proxy {
+	cfg := s.Config
+	l1 := NewCache(node+"/L1", cfg.L1Bytes, NewPolicy(cfg.PolicyName))
+	var l2 *Cache
+	if cfg.L2Bytes > 0 {
+		l2 = NewCache(node+"/L2", cfg.L2Bytes, NewPolicy(cfg.PolicyName))
+	}
+	tiered := &Tiered{Clock: s.Clock, L1: l1, L2: l2}
+	if cfg.LocalDiskBandwidth > 0 {
+		cost := func(bytes int64) time.Duration {
+			return time.Duration(float64(bytes) / cfg.LocalDiskBandwidth * float64(time.Second))
+		}
+		tiered.SpillCost = cost
+		tiered.PromoteCost = cost
+	}
+
+	s.mu.Lock()
+	base := append([]loader.Source(nil), s.sources...)
+	s.mu.Unlock()
+
+	sel := loader.NewSelector(s.Clock, cfg.DecideCost, base...)
+	p := NewProxy(node, s.Clock, tiered, NewResolver(s.Names), sel, pf)
+	p.NameCost = cfg.NameCost
+	p.Coordinator = s
+	if !cfg.DisablePeer {
+		sel.AddSource(s.peerSource(p))
+	}
+
+	s.mu.Lock()
+	s.proxies = append(s.proxies, p)
+	s.mu.Unlock()
+	return p
+}
+
+// peerSource builds the cooperative-cache source for proxy self: blocks
+// available from any other proxy's cache, transferred over the modeled
+// interconnect. The cooperative cache is greedy — no duplicate deletion,
+// every proxy manages its cache independently (paper §4.3).
+func (s *Server) peerSource(self *Proxy) loader.Source {
+	find := func(id grid.BlockID) (*grid.Block, bool) {
+		item := s.Names.Resolve(BlockItem(id))
+		s.mu.Lock()
+		peers := append([]*Proxy(nil), s.proxies...)
+		s.mu.Unlock()
+		for _, q := range peers {
+			if q == self {
+				continue
+			}
+			if b, ok := q.Cache.Peek(item); ok {
+				return b, true
+			}
+		}
+		return nil, false
+	}
+	return &loader.FuncSource{
+		SourceName: "peer:" + self.Node,
+		AvailFn: func(id grid.BlockID) bool {
+			_, ok := find(id)
+			return ok
+		},
+		CostFn: func(id grid.BlockID) time.Duration {
+			b, ok := find(id)
+			if !ok {
+				return time.Hour
+			}
+			return s.peerCost(b.SizeBytes())
+		},
+		LoadFn: func(id grid.BlockID) (*grid.Block, int64, error) {
+			b, ok := find(id)
+			if !ok {
+				return nil, 0, &PeerMissError{ID: id}
+			}
+			size := b.SizeBytes()
+			s.Clock.Sleep(s.peerCost(size))
+			return b, size, nil
+		},
+	}
+}
+
+func (s *Server) peerCost(bytes int64) time.Duration {
+	d := s.Config.PeerLatency
+	if s.Config.PeerBandwidth > 0 {
+		d += time.Duration(float64(bytes) / s.Config.PeerBandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// PeerMissError reports that a block vanished from all peer caches between
+// the availability check and the transfer (eviction race); the selector
+// falls back to the next source.
+type PeerMissError struct{ ID grid.BlockID }
+
+// Error implements error.
+func (e *PeerMissError) Error() string {
+	return "dms: " + e.ID.String() + " no longer in any peer cache"
+}
+
+// TryBeginFetch implements Coordinator: it registers node as fetching the
+// item and reports false when some other node is already fetching it.
+func (s *Server) TryBeginFetch(item ItemID, node string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.fetching[item]
+	for other := range m {
+		if other != node {
+			return false
+		}
+	}
+	if m == nil {
+		m = map[string]bool{}
+		s.fetching[item] = m
+	}
+	m[node] = true
+	return true
+}
+
+// EndFetch implements Coordinator.
+func (s *Server) EndFetch(item ItemID, node string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.fetching[item]; ok {
+		delete(m, node)
+		if len(m) == 0 {
+			delete(s.fetching, item)
+		}
+	}
+}
+
+// Proxies returns a snapshot of the registered proxies.
+func (s *Server) Proxies() []*Proxy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Proxy(nil), s.proxies...)
+}
+
+// DropAllCaches clears every proxy's caches for cold-start experiments.
+func (s *Server) DropAllCaches() {
+	for _, p := range s.Proxies() {
+		p.DropCaches()
+	}
+}
+
+// AggregateStats sums cache and proxy statistics over all proxies.
+func (s *Server) AggregateStats() (CacheStats, ProxyStats) {
+	var cs CacheStats
+	var ps ProxyStats
+	for _, p := range s.Proxies() {
+		l1 := p.Cache.L1.Stats()
+		cs.Hits += l1.Hits
+		cs.Misses += l1.Misses
+		cs.Puts += l1.Puts
+		cs.Evictions += l1.Evictions
+		cs.BytesEvicted += l1.BytesEvicted
+		cs.PrefetchPuts += l1.PrefetchPuts
+		cs.PrefetchUsed += l1.PrefetchUsed
+		cs.RejectedLarge += l1.RejectedLarge
+		st := p.Stats()
+		ps.DemandRequests += st.DemandRequests
+		ps.DemandLoads += st.DemandLoads
+		ps.PrefetchIssued += st.PrefetchIssued
+		ps.PrefetchDone += st.PrefetchDone
+		ps.PrefetchErrors += st.PrefetchErrors
+		ps.PrefetchSkipped += st.PrefetchSkipped
+		ps.WaitedInflight += st.WaitedInflight
+		ps.RemoteResolves += st.RemoteResolves
+	}
+	return cs, ps
+}

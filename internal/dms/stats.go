@@ -1,0 +1,132 @@
+package dms
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"viracocha/internal/grid"
+)
+
+// StatsUnit is the DMS's statistical component (paper §4.2): it records the
+// demand request stream of a proxy — which blocks, in which order, hits or
+// misses — so that the system prefetcher and the operator can inspect the
+// observed access behavior. The log is a bounded ring; aggregate counters
+// never roll over.
+type StatsUnit struct {
+	mu      sync.Mutex
+	log     []AccessRecord
+	head    int
+	size    int
+	perItem map[grid.BlockID]*ItemStats
+}
+
+// AccessRecord is one demand request.
+type AccessRecord struct {
+	ID   grid.BlockID
+	Miss bool
+	At   time.Duration
+}
+
+// ItemStats aggregates accesses of one block.
+type ItemStats struct {
+	Requests int64
+	Misses   int64
+	LastAt   time.Duration
+}
+
+// DefaultLogSize bounds the request ring.
+const DefaultLogSize = 4096
+
+// NewStatsUnit returns a unit with a ring of the given size (≤0 uses the
+// default).
+func NewStatsUnit(size int) *StatsUnit {
+	if size <= 0 {
+		size = DefaultLogSize
+	}
+	return &StatsUnit{
+		log:     make([]AccessRecord, size),
+		perItem: map[grid.BlockID]*ItemStats{},
+	}
+}
+
+// Record notes one demand request.
+func (s *StatsUnit) Record(id grid.BlockID, miss bool, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log[s.head] = AccessRecord{ID: id, Miss: miss, At: at}
+	s.head = (s.head + 1) % len(s.log)
+	if s.size < len(s.log) {
+		s.size++
+	}
+	it := s.perItem[id]
+	if it == nil {
+		it = &ItemStats{}
+		s.perItem[id] = it
+	}
+	it.Requests++
+	if miss {
+		it.Misses++
+	}
+	it.LastAt = at
+}
+
+// Recent returns up to n most recent requests, oldest first.
+func (s *StatsUnit) Recent(n int) []AccessRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.size {
+		n = s.size
+	}
+	out := make([]AccessRecord, 0, n)
+	start := (s.head - n + len(s.log)) % len(s.log)
+	for i := 0; i < n; i++ {
+		out = append(out, s.log[(start+i)%len(s.log)])
+	}
+	return out
+}
+
+// Item returns the aggregate record of one block (zero value when never
+// requested).
+func (s *StatsUnit) Item(id grid.BlockID) ItemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if it, ok := s.perItem[id]; ok {
+		return *it
+	}
+	return ItemStats{}
+}
+
+// Hottest returns the n most requested blocks, most requested first, ties
+// broken by name for determinism. The DMS can use it to pin the user's
+// region of interest; the bench harness uses it to characterize workloads.
+func (s *StatsUnit) Hottest(n int) []grid.BlockID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]grid.BlockID, 0, len(s.perItem))
+	for id := range s.perItem {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ra, rb := s.perItem[ids[a]].Requests, s.perItem[ids[b]].Requests
+		if ra != rb {
+			return ra > rb
+		}
+		return ids[a].String() < ids[b].String()
+	})
+	if n < len(ids) {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// TotalRequests reports the all-time demand request count.
+func (s *StatsUnit) TotalRequests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, it := range s.perItem {
+		t += it.Requests
+	}
+	return t
+}

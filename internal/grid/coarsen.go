@@ -1,0 +1,63 @@
+package grid
+
+// Coarsen returns a subsampled copy of the block for multi-resolution
+// progressive computation (paper §5.3): every 2^level-th node is kept along
+// each axis, always including the last node so the block's physical extent
+// is preserved. Level 0 returns the block itself.
+func (b *Block) Coarsen(level int) *Block {
+	if level <= 0 {
+		return b
+	}
+	stride := 1 << uint(level)
+	is := sampleIndices(b.NI, stride)
+	js := sampleIndices(b.NJ, stride)
+	ks := sampleIndices(b.NK, stride)
+	c := NewBlock(b.ID, len(is), len(js), len(ks))
+	for name := range b.Scalars {
+		c.EnsureScalar(name)
+	}
+	for kk, k := range ks {
+		for jj, j := range js {
+			for ii, i := range is {
+				src := b.Index(i, j, k)
+				dst := c.Index(ii, jj, kk)
+				copy(c.Points[3*dst:3*dst+3], b.Points[3*src:3*src+3])
+				copy(c.Velocity[3*dst:3*dst+3], b.Velocity[3*src:3*src+3])
+				for name, f := range b.Scalars {
+					c.Scalars[name][dst] = f[src]
+				}
+			}
+		}
+	}
+	return c
+}
+
+// sampleIndices returns 0, stride, 2·stride, … plus the final index n-1.
+func sampleIndices(n, stride int) []int {
+	var out []int
+	for i := 0; i < n-1; i += stride {
+		out = append(out, i)
+	}
+	out = append(out, n-1)
+	if len(out) < 2 {
+		out = []int{0, n - 1}
+	}
+	return out
+}
+
+// MaxLevel reports the deepest useful coarsening level for the block: the
+// largest level at which every axis still has at least two sampled nodes
+// spanning distinct source nodes.
+func (b *Block) MaxLevel() int {
+	level := 0
+	for {
+		stride := 1 << uint(level+1)
+		if stride >= b.NI-1 && stride >= b.NJ-1 && stride >= b.NK-1 {
+			return level
+		}
+		level++
+		if level > 16 {
+			return 16
+		}
+	}
+}

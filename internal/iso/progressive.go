@@ -1,0 +1,170 @@
+package iso
+
+import (
+	"viracocha/internal/grid"
+	"viracocha/internal/mesh"
+)
+
+// Progressive extraction (paper §5.3): the lowest resolution level yields
+// the base surface; each refinement then triangulates only the fine cells
+// inside coarse cells near the previously-found surface, instead of
+// re-scanning the whole block. The guard band (one coarse cell around every
+// active cell) makes the active-region propagation conservative for
+// surfaces resolved at the coarse level; sub-coarse-cell features can still
+// be missed, which is the inherent trade-off of multi-resolution extraction
+// the paper acknowledges.
+
+// ProgressiveStats reports the work of one level of one block.
+type ProgressiveStats struct {
+	Level        int
+	CellsVisited int
+	Triangles    int
+}
+
+// ProgressiveBlock is the stateful per-block refiner. Levels must be
+// extracted strictly in descending order; each ExtractLevel returns the
+// complete surface of the block at that level (the client replaces the
+// block's previous geometry).
+type ProgressiveBlock struct {
+	b     *grid.Block
+	field string
+	iso   float64
+
+	lastLevel int
+	started   bool
+	// region is the active neighbourhood in full-resolution cell
+	// coordinates; nil means "unknown, scan everything", empty means "no
+	// surface anywhere at the coarser level".
+	region []grid.CellRange
+}
+
+// NewProgressiveBlock prepares a refiner for one block.
+func NewProgressiveBlock(b *grid.Block, field string, iso float64) *ProgressiveBlock {
+	return &ProgressiveBlock{b: b, field: field, iso: iso}
+}
+
+// ExtractLevel triangulates the block at the given coarsening level,
+// restricted to the refinement region established by the previous (coarser)
+// level. It panics when levels are not strictly descending, which is a
+// caller bug.
+func (p *ProgressiveBlock) ExtractLevel(level int) (*mesh.Mesh, ProgressiveStats) {
+	if level > p.b.MaxLevel() {
+		level = p.b.MaxLevel()
+	}
+	if level < 0 {
+		level = 0
+	}
+	if p.started && level >= p.lastLevel {
+		panic("iso: ProgressiveBlock levels must be strictly descending")
+	}
+	work := p.b.Coarsen(level)
+	vals, ok := work.Scalars[p.field]
+	if !ok {
+		panic("iso: missing field " + p.field + " on " + p.b.ID.String())
+	}
+	stride := 1 << uint(level)
+	m := &mesh.Mesh{}
+	st := ProgressiveStats{Level: level}
+	var active [][3]int
+	visit := func(ci, cj, ck int) {
+		st.CellsVisited++
+		if !ActiveCell(work, vals, p.iso, ci, cj, ck) {
+			return
+		}
+		active = append(active, [3]int{ci, cj, ck})
+		st.Triangles += ExtractCell(work, vals, p.iso, ci, cj, ck, m)
+	}
+	if !p.started {
+		for ck := 0; ck < work.NK-1; ck++ {
+			for cj := 0; cj < work.NJ-1; cj++ {
+				for ci := 0; ci < work.NI-1; ci++ {
+					visit(ci, cj, ck)
+				}
+			}
+		}
+	} else {
+		seen := map[[3]int]bool{}
+		for _, r := range p.region {
+			for ck := r.Lo[2]; ck < r.Hi[2]; ck++ {
+				for cj := r.Lo[1]; cj < r.Hi[1]; cj++ {
+					for ci := r.Lo[0]; ci < r.Hi[0]; ci++ {
+						key := [3]int{
+							clampHi(ci/stride, work.NI-2),
+							clampHi(cj/stride, work.NJ-2),
+							clampHi(ck/stride, work.NK-2),
+						}
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						visit(key[0], key[1], key[2])
+					}
+				}
+			}
+		}
+	}
+	p.started = true
+	p.lastLevel = level
+	p.region = dilateToFullRes(active, stride, p.b)
+	return m, st
+}
+
+// ProgressiveExtract runs levels maxLevel..0 over one block, calling emit
+// with each level's surface. It returns per-level statistics; the
+// refinement saving shows as level-0 CellsVisited far below the block's
+// cell count for localized surfaces.
+func ProgressiveExtract(b *grid.Block, field string, iso float64, maxLevel int,
+	emit func(level int, m *mesh.Mesh) error) ([]ProgressiveStats, error) {
+
+	if maxLevel > b.MaxLevel() {
+		maxLevel = b.MaxLevel()
+	}
+	if maxLevel < 0 {
+		maxLevel = 0
+	}
+	p := NewProgressiveBlock(b, field, iso)
+	var stats []ProgressiveStats
+	for level := maxLevel; level >= 0; level-- {
+		m, st := p.ExtractLevel(level)
+		stats = append(stats, st)
+		if err := emit(level, m); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// dilateToFullRes expands each active cell by one cell in every direction at
+// its own level and maps it to full-resolution cell ranges.
+func dilateToFullRes(active [][3]int, stride int, full *grid.Block) []grid.CellRange {
+	out := make([]grid.CellRange, 0, len(active))
+	for _, c := range active {
+		out = append(out, grid.CellRange{
+			Lo: [3]int{
+				clampLo((c[0] - 1) * stride),
+				clampLo((c[1] - 1) * stride),
+				clampLo((c[2] - 1) * stride),
+			},
+			Hi: [3]int{
+				clampHi((c[0]+2)*stride, full.NI-1),
+				clampHi((c[1]+2)*stride, full.NJ-1),
+				clampHi((c[2]+2)*stride, full.NK-1),
+			},
+		})
+	}
+	return out
+}
+
+func clampLo(x int) int {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func clampHi(x, max int) int {
+	if x > max {
+		return max
+	}
+	return x
+}

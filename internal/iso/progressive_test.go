@@ -1,0 +1,137 @@
+package iso
+
+import (
+	"math"
+	"testing"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/mathx"
+	"viracocha/internal/mesh"
+)
+
+func TestProgressiveFinalLevelMatchesFullExtraction(t *testing.T) {
+	// For a smooth field resolved at the coarse level, the incremental
+	// refinement must reproduce the full-resolution surface exactly.
+	c := mathx.Vec3{X: 0.5, Y: 0.5, Z: 0.5}
+	b := scalarBlock(25, func(p mathx.Vec3) float64 {
+		d := p.Sub(c)
+		return d.Dot(d)
+	})
+	var full mesh.Mesh
+	want := ExtractBlock(b, "s", 0.09, &full)
+
+	var finalTris int
+	var levels []ProgressiveStats
+	stats, err := ProgressiveExtract(b, "s", 0.09, 2, func(level int, m *mesh.Mesh) error {
+		if level == 0 {
+			finalTris = m.NumTriangles()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels = stats
+	if finalTris != want.Triangles {
+		t.Fatalf("incremental final level has %d triangles, full extraction %d", finalTris, want.Triangles)
+	}
+	// The refinement must visit far fewer fine cells than a full scan: the
+	// sphere surface occupies a thin shell of the block.
+	level0 := levels[len(levels)-1]
+	if level0.CellsVisited >= b.NumCells() {
+		t.Fatalf("no refinement saving: visited %d of %d cells", level0.CellsVisited, b.NumCells())
+	}
+	if level0.CellsVisited > b.NumCells()*6/10 {
+		t.Fatalf("weak refinement saving: visited %d of %d cells", level0.CellsVisited, b.NumCells())
+	}
+}
+
+func TestProgressiveLevelsCoarseToFine(t *testing.T) {
+	b := scalarBlock(17, func(p mathx.Vec3) float64 { return p.X })
+	var seq []int
+	var tris []int
+	_, err := ProgressiveExtract(b, "s", 0.5, 2, func(level int, m *mesh.Mesh) error {
+		seq = append(seq, level)
+		tris = append(tris, m.NumTriangles())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 3 || seq[0] != 2 || seq[2] != 0 {
+		t.Fatalf("level sequence = %v", seq)
+	}
+	// Finer levels resolve more triangles for a plane cut.
+	if !(tris[0] < tris[2]) {
+		t.Fatalf("triangles per level = %v, want increasing", tris)
+	}
+	for _, n := range tris {
+		if n == 0 {
+			t.Fatalf("a level produced no surface: %v", tris)
+		}
+	}
+}
+
+func TestProgressiveEmptySurfaceShortCircuits(t *testing.T) {
+	b := scalarBlock(17, func(p mathx.Vec3) float64 { return p.X })
+	stats, err := ProgressiveExtract(b, "s", 99, 2, func(level int, m *mesh.Mesh) error {
+		if m.NumTriangles() != 0 {
+			t.Fatalf("level %d produced triangles for out-of-range iso", level)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the coarse level finds nothing, finer levels visit no cells.
+	for _, st := range stats[1:] {
+		if st.CellsVisited != 0 {
+			t.Fatalf("level %d visited %d cells after an empty coarser level", st.Level, st.CellsVisited)
+		}
+	}
+}
+
+func TestProgressiveBlockRejectsAscendingLevels(t *testing.T) {
+	b := scalarBlock(9, func(p mathx.Vec3) float64 { return p.X })
+	p := NewProgressiveBlock(b, "s", 0.5)
+	p.ExtractLevel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ascending level")
+		}
+	}()
+	p.ExtractLevel(1)
+}
+
+func TestProgressiveOnCurvilinearGeometry(t *testing.T) {
+	// An engine-like wedge: the refinement bookkeeping must survive
+	// non-power-of-two dims and curvilinear coordinates.
+	n := 14
+	b := grid.NewBlock(grid.BlockID{Dataset: "w", Step: 0, Block: 0}, n, n, n)
+	s := b.EnsureScalar("s")
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				r := 0.2 + 0.8*float64(i)/float64(n-1)
+				th := 0.8 * float64(j) / float64(n-1)
+				z := float64(k) / float64(n-1)
+				b.SetPoint(i, j, k, mathx.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th), Z: z})
+				s[b.Index(i, j, k)] = float32(r)
+			}
+		}
+	}
+	var full mesh.Mesh
+	want := ExtractBlock(b, "s", 0.55, &full)
+	var got int
+	if _, err := ProgressiveExtract(b, "s", 0.55, 2, func(level int, m *mesh.Mesh) error {
+		if level == 0 {
+			got = m.NumTriangles()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want.Triangles {
+		t.Fatalf("curvilinear: incremental %d vs full %d triangles", got, want.Triangles)
+	}
+}

@@ -1,0 +1,24 @@
+package mesh
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBinary exercises the mesh decoder: no panics, and accepted
+// inputs re-encode stably.
+func FuzzDecodeBinary(f *testing.F) {
+	m := quad()
+	m.ComputeNormals()
+	f.Add(m.EncodeBinary())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got.EncodeBinary(), data) {
+			t.Fatal("accepted mesh does not re-encode stably")
+		}
+	})
+}

@@ -1,0 +1,301 @@
+// Package mesh provides the triangle geometry produced by the extraction
+// commands and shipped to the visualization client: an indexed triangle mesh
+// with optional per-vertex normals and scalars, vertex welding, and a compact
+// binary wire encoding used by the streaming layer.
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/mathx"
+)
+
+// Mesh is an indexed triangle mesh. Vertex i occupies Positions[3i:3i+3];
+// Indices holds three vertex indices per triangle. Normals and Values are
+// optional and, when present, parallel to Positions (Values has one float
+// per vertex).
+type Mesh struct {
+	Positions []float32
+	Normals   []float32
+	Values    []float32
+	Indices   []uint32
+}
+
+// NumVertices reports the vertex count.
+func (m *Mesh) NumVertices() int { return len(m.Positions) / 3 }
+
+// NumTriangles reports the triangle count.
+func (m *Mesh) NumTriangles() int { return len(m.Indices) / 3 }
+
+// AddVertex appends a vertex and returns its index.
+func (m *Mesh) AddVertex(p mathx.Vec3) uint32 {
+	m.Positions = append(m.Positions, float32(p.X), float32(p.Y), float32(p.Z))
+	return uint32(m.NumVertices() - 1)
+}
+
+// AddTriangle appends one triangle by vertex indices.
+func (m *Mesh) AddTriangle(a, b, c uint32) {
+	m.Indices = append(m.Indices, a, b, c)
+}
+
+// Vertex returns the position of vertex i.
+func (m *Mesh) Vertex(i int) mathx.Vec3 {
+	return mathx.Vec3{
+		X: float64(m.Positions[3*i]),
+		Y: float64(m.Positions[3*i+1]),
+		Z: float64(m.Positions[3*i+2]),
+	}
+}
+
+// Append concatenates other onto m, offsetting indices. Normals and Values
+// are carried over when both meshes have them (or m is empty); otherwise the
+// attribute is dropped, since a partial attribute array is worse than none.
+func (m *Mesh) Append(other *Mesh) {
+	if other == nil || other.NumVertices() == 0 {
+		return
+	}
+	base := uint32(m.NumVertices())
+	hadVerts := m.NumVertices() > 0
+	m.Positions = append(m.Positions, other.Positions...)
+	switch {
+	case !hadVerts:
+		m.Normals = append([]float32(nil), other.Normals...)
+		m.Values = append([]float32(nil), other.Values...)
+	default:
+		if len(m.Normals) > 0 && len(other.Normals) > 0 {
+			m.Normals = append(m.Normals, other.Normals...)
+		} else {
+			m.Normals = nil
+		}
+		if len(m.Values) > 0 && len(other.Values) > 0 {
+			m.Values = append(m.Values, other.Values...)
+		} else {
+			m.Values = nil
+		}
+	}
+	for _, ix := range other.Indices {
+		m.Indices = append(m.Indices, base+ix)
+	}
+}
+
+// Bounds returns the axis-aligned bounding box of the mesh vertices.
+func (m *Mesh) Bounds() grid.AABB {
+	box := grid.EmptyAABB()
+	for i := 0; i < len(m.Positions); i += 3 {
+		box.Extend(mathx.Vec3{
+			X: float64(m.Positions[i]),
+			Y: float64(m.Positions[i+1]),
+			Z: float64(m.Positions[i+2]),
+		})
+	}
+	return box
+}
+
+// ComputeNormals fills per-vertex normals as the normalized sum of incident
+// triangle normals (area weighting falls out of the unnormalized cross
+// products).
+func (m *Mesh) ComputeNormals() {
+	n := make([]mathx.Vec3, m.NumVertices())
+	for t := 0; t < len(m.Indices); t += 3 {
+		a, b, c := m.Indices[t], m.Indices[t+1], m.Indices[t+2]
+		pa, pb, pc := m.Vertex(int(a)), m.Vertex(int(b)), m.Vertex(int(c))
+		fn := pb.Sub(pa).Cross(pc.Sub(pa))
+		n[a] = n[a].Add(fn)
+		n[b] = n[b].Add(fn)
+		n[c] = n[c].Add(fn)
+	}
+	m.Normals = make([]float32, 3*len(n))
+	for i, v := range n {
+		u := v.Normalize()
+		m.Normals[3*i] = float32(u.X)
+		m.Normals[3*i+1] = float32(u.Y)
+		m.Normals[3*i+2] = float32(u.Z)
+	}
+}
+
+// Weld merges vertices whose positions coincide after quantization to tol
+// and drops degenerate triangles. It returns the number of vertices removed.
+// Normals and Values of merged vertices keep the first occurrence.
+func (m *Mesh) Weld(tol float64) int {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	type key [3]int64
+	quant := func(i int) key {
+		return key{
+			int64(math.Round(float64(m.Positions[3*i]) / tol)),
+			int64(math.Round(float64(m.Positions[3*i+1]) / tol)),
+			int64(math.Round(float64(m.Positions[3*i+2]) / tol)),
+		}
+	}
+	seen := make(map[key]uint32, m.NumVertices())
+	remap := make([]uint32, m.NumVertices())
+	var pos, nrm, val []float32
+	next := uint32(0)
+	for i := 0; i < m.NumVertices(); i++ {
+		k := quant(i)
+		if j, ok := seen[k]; ok {
+			remap[i] = j
+			continue
+		}
+		seen[k] = next
+		remap[i] = next
+		pos = append(pos, m.Positions[3*i:3*i+3]...)
+		if len(m.Normals) > 0 {
+			nrm = append(nrm, m.Normals[3*i:3*i+3]...)
+		}
+		if len(m.Values) > 0 {
+			val = append(val, m.Values[i])
+		}
+		next++
+	}
+	removed := m.NumVertices() - int(next)
+	var idx []uint32
+	for t := 0; t < len(m.Indices); t += 3 {
+		a, b, c := remap[m.Indices[t]], remap[m.Indices[t+1]], remap[m.Indices[t+2]]
+		if a == b || b == c || a == c {
+			continue // degenerate after weld
+		}
+		idx = append(idx, a, b, c)
+	}
+	m.Positions, m.Normals, m.Values, m.Indices = pos, nrm, val, idx
+	return removed
+}
+
+// Area returns the total surface area of the mesh.
+func (m *Mesh) Area() float64 {
+	area := 0.0
+	for t := 0; t < len(m.Indices); t += 3 {
+		pa := m.Vertex(int(m.Indices[t]))
+		pb := m.Vertex(int(m.Indices[t+1]))
+		pc := m.Vertex(int(m.Indices[t+2]))
+		area += 0.5 * pb.Sub(pa).Cross(pc.Sub(pa)).Norm()
+	}
+	return area
+}
+
+const wireMagic = 0x56524d48 // "VRMH"
+
+// EncodeBinary serializes the mesh in the little-endian wire format used for
+// streaming: magic, counts, then positions, flags-gated normals/values, and
+// indices.
+func (m *Mesh) EncodeBinary() []byte {
+	flags := uint32(0)
+	if len(m.Normals) > 0 {
+		flags |= 1
+	}
+	if len(m.Values) > 0 {
+		flags |= 2
+	}
+	size := 16 + 4*len(m.Positions) + 4*len(m.Normals) + 4*len(m.Values) + 4*len(m.Indices)
+	buf := make([]byte, 0, size)
+	var scratch [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	put32(wireMagic)
+	put32(uint32(m.NumVertices()))
+	put32(uint32(len(m.Indices)))
+	put32(flags)
+	putFloats := func(fs []float32) {
+		for _, f := range fs {
+			put32(math.Float32bits(f))
+		}
+	}
+	putFloats(m.Positions)
+	putFloats(m.Normals)
+	putFloats(m.Values)
+	for _, ix := range m.Indices {
+		put32(ix)
+	}
+	return buf
+}
+
+// DecodeBinary parses the wire format produced by EncodeBinary.
+func DecodeBinary(data []byte) (*Mesh, error) {
+	if len(data) < 16 {
+		return nil, errors.New("mesh: truncated header")
+	}
+	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
+	if get32(0) != wireMagic {
+		return nil, fmt.Errorf("mesh: bad magic %#x", get32(0))
+	}
+	nv := int(get32(4))
+	ni := int(get32(8))
+	flags := get32(12)
+	need := 16 + 12*nv + 4*ni
+	if flags&1 != 0 {
+		need += 12 * nv
+	}
+	if flags&2 != 0 {
+		need += 4 * nv
+	}
+	if len(data) != need {
+		return nil, fmt.Errorf("mesh: size %d, want %d", len(data), need)
+	}
+	off := 16
+	readFloats := func(n int) []float32 {
+		if n == 0 {
+			return nil
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(get32(off))
+			off += 4
+		}
+		return out
+	}
+	m := &Mesh{}
+	m.Positions = readFloats(3 * nv)
+	if flags&1 != 0 {
+		m.Normals = readFloats(3 * nv)
+	}
+	if flags&2 != 0 {
+		m.Values = readFloats(nv)
+	}
+	if ni > 0 {
+		m.Indices = make([]uint32, ni)
+		for i := range m.Indices {
+			m.Indices[i] = get32(off)
+			off += 4
+		}
+	}
+	for _, ix := range m.Indices {
+		if int(ix) >= nv {
+			return nil, fmt.Errorf("mesh: index %d out of range (%d vertices)", ix, nv)
+		}
+	}
+	return m, nil
+}
+
+// SizeBytes reports the wire size of the mesh, used by the communication
+// cost model without forcing an encode.
+func (m *Mesh) SizeBytes() int64 {
+	return int64(16 + 4*(len(m.Positions)+len(m.Normals)+len(m.Values)+len(m.Indices)))
+}
+
+// Decimate reduces the mesh to at most target triangles by vertex
+// clustering: the weld tolerance is doubled until the budget holds (or the
+// mesh collapses to nothing at a safety bound). It is the cheap
+// level-of-detail reduction a client can apply to streamed packets, and
+// complements the multi-resolution extraction path (paper §5.3). It
+// returns the final triangle count.
+func (m *Mesh) Decimate(target int) int {
+	if target <= 0 || m.NumTriangles() <= target {
+		return m.NumTriangles()
+	}
+	cell := m.Bounds().Diagonal() / 512
+	if cell <= 0 {
+		cell = 1e-9
+	}
+	for iter := 0; iter < 24 && m.NumTriangles() > target; iter++ {
+		m.Weld(cell)
+		cell *= 2
+	}
+	return m.NumTriangles()
+}

@@ -1,0 +1,163 @@
+// Package storage provides the secondary-storage substrate: a binary on-disk
+// block format, pluggable backends (real directories, in-memory stores, and
+// on-demand synthetic generation), and Device, a clock-aware wrapper that
+// charges seek latency and transfer time so that the DMS experiments see
+// the I/O costs of the paper's NFS-plus-local-disk environment.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"viracocha/internal/grid"
+)
+
+const blockMagic = 0x5652424b // "VRBK"
+
+// EncodeBlock serializes a block to the little-endian Viracocha block
+// format: magic, ID, dims, then coordinates, velocity and named scalars.
+func EncodeBlock(b *grid.Block) []byte {
+	names := make([]string, 0, len(b.Scalars))
+	for n := range b.Scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	size := 4 + 4 + len(b.ID.Dataset) + 8 + 12 + 4
+	for _, n := range names {
+		size += 4 + len(n) + 4*b.NumNodes()
+	}
+	size += 4 * (len(b.Points) + len(b.Velocity))
+	buf := make([]byte, 0, size)
+
+	var s4 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(s4[:], v)
+		buf = append(buf, s4[:]...)
+	}
+	putStr := func(s string) {
+		put32(uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	putFloats := func(fs []float32) {
+		for _, f := range fs {
+			put32(math.Float32bits(f))
+		}
+	}
+
+	put32(blockMagic)
+	putStr(b.ID.Dataset)
+	put32(uint32(b.ID.Step))
+	put32(uint32(b.ID.Block))
+	put32(uint32(b.NI))
+	put32(uint32(b.NJ))
+	put32(uint32(b.NK))
+	putFloats(b.Points)
+	putFloats(b.Velocity)
+	put32(uint32(len(names)))
+	for _, n := range names {
+		putStr(n)
+		putFloats(b.Scalars[n])
+	}
+	return buf
+}
+
+// DecodeBlock parses the format written by EncodeBlock.
+func DecodeBlock(data []byte) (*grid.Block, error) {
+	off := 0
+	get32 := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, errors.New("storage: truncated block")
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	getStr := func() (string, error) {
+		n, err := get32()
+		if err != nil {
+			return "", err
+		}
+		if off+int(n) > len(data) || n > 1<<20 {
+			return "", errors.New("storage: truncated or oversized string")
+		}
+		s := string(data[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != blockMagic {
+		return nil, fmt.Errorf("storage: bad magic %#x", magic)
+	}
+	dsName, err := getStr()
+	if err != nil {
+		return nil, err
+	}
+	step, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	blk, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	ni, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nj, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nk, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if ni < 2 || nj < 2 || nk < 2 || uint64(ni)*uint64(nj)*uint64(nk) > 1<<28 {
+		return nil, fmt.Errorf("storage: implausible dims %d×%d×%d", ni, nj, nk)
+	}
+	b := grid.NewBlock(grid.BlockID{Dataset: dsName, Step: int(step), Block: int(blk)}, int(ni), int(nj), int(nk))
+	getFloats := func(dst []float32) error {
+		for i := range dst {
+			v, err := get32()
+			if err != nil {
+				return err
+			}
+			dst[i] = math.Float32frombits(v)
+		}
+		return nil
+	}
+	if err := getFloats(b.Points); err != nil {
+		return nil, err
+	}
+	if err := getFloats(b.Velocity); err != nil {
+		return nil, err
+	}
+	nf, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if nf > 64 {
+		return nil, fmt.Errorf("storage: implausible field count %d", nf)
+	}
+	for i := uint32(0); i < nf; i++ {
+		name, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		f := b.EnsureScalar(name)
+		if err := getFloats(f); err != nil {
+			return nil, err
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("storage: %d trailing bytes", len(data)-off)
+	}
+	return b, nil
+}

@@ -1,0 +1,45 @@
+package storage
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"viracocha/internal/grid"
+)
+
+// CompressBlock encodes a block and DEFLATE-compresses it at the given
+// level (flate.BestSpeed … flate.BestCompression). The paper evaluated
+// compressing block transfers and rejected it — "long runtimes and low
+// compression rates compared to transmission time" (§4.3); this codec
+// exists so the trade-off can be measured rather than asserted (see the
+// compression ablation).
+func CompressBlock(b *grid.Block, level int) ([]byte, error) {
+	raw := EncodeBlock(b)
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecompressBlock reverses CompressBlock.
+func DecompressBlock(data []byte) (*grid.Block, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("storage: inflate: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return DecodeBlock(raw)
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"sync"
+	"time"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/vclock"
+)
+
+// Device wraps a Backend with the cost model of a physical storage device:
+// per-request latency, a transfer time of bytes/bandwidth, and a bounded
+// number of concurrent channels (1 models a single disk spindle; more models
+// a striped file server). All costs are charged to the clock, so under the
+// virtual clock they shape the experiment timings and under the real clock
+// they throttle actual execution the same way.
+type Device struct {
+	Name      string
+	Backend   Backend
+	Clock     vclock.Clock
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second; <=0 means infinite
+	// ChargeBytes overrides the byte count used for transfer-time
+	// accounting, e.g. to charge paper-scale block sizes for synthetic
+	// blocks. When nil the backend-reported size is charged.
+	ChargeBytes func(grid.BlockID) int64
+
+	sem   *vclock.Semaphore
+	mu    sync.Mutex
+	stats DeviceStats
+}
+
+// DeviceStats accumulates observed device traffic.
+type DeviceStats struct {
+	Loads      int64
+	Errors     int64
+	Bytes      int64         // charged bytes
+	BusyTime   time.Duration // total time charged on the device
+	LastAccess time.Duration // clock time of the most recent completion
+}
+
+// NewDevice builds a device with the given channel count (minimum 1).
+func NewDevice(name string, b Backend, c vclock.Clock, latency time.Duration, bandwidth float64, channels int) *Device {
+	if channels < 1 {
+		channels = 1
+	}
+	return &Device{
+		Name:      name,
+		Backend:   b,
+		Clock:     c,
+		Latency:   latency,
+		Bandwidth: bandwidth,
+		sem:       vclock.NewSemaphore(c, channels),
+	}
+}
+
+// Load fetches a block at demand priority, charging latency and transfer
+// time to the calling actor while one device channel is held. It returns the
+// block and the charged byte count.
+func (d *Device) Load(id grid.BlockID) (*grid.Block, int64, error) {
+	return d.load(id, false)
+}
+
+// LoadBackground fetches a block at background (prefetch) priority: queued
+// demand requests always go first, so prefetching cannot starve demand I/O.
+func (d *Device) LoadBackground(id grid.BlockID) (*grid.Block, int64, error) {
+	return d.load(id, true)
+}
+
+func (d *Device) load(id grid.BlockID, background bool) (*grid.Block, int64, error) {
+	if background {
+		d.sem.AcquireLow()
+	} else {
+		d.sem.Acquire()
+	}
+	defer d.sem.Release()
+	start := d.Clock.Now()
+	b, size, err := d.Backend.Fetch(id)
+	if err != nil {
+		// A failed request still costs its latency (e.g. an NFS timeout).
+		d.Clock.Sleep(d.Latency)
+		d.mu.Lock()
+		d.stats.Errors++
+		d.stats.LastAccess = d.Clock.Now()
+		d.mu.Unlock()
+		return nil, 0, err
+	}
+	charged := size
+	if d.ChargeBytes != nil {
+		charged = d.ChargeBytes(id)
+	}
+	cost := d.Latency + d.transferTime(charged)
+	d.Clock.Sleep(cost)
+	d.mu.Lock()
+	d.stats.Loads++
+	d.stats.Bytes += charged
+	d.stats.BusyTime += d.Clock.Now() - start
+	d.stats.LastAccess = d.Clock.Now()
+	d.mu.Unlock()
+	return b, charged, nil
+}
+
+// LoadRun fetches a contiguous run of blocks as one device operation: the
+// semaphore is held and the latency charged once, then each block's transfer
+// time. It is the device half of collective I/O. On error, blocks loaded so
+// far are discarded.
+func (d *Device) LoadRun(ids []grid.BlockID) ([]*grid.Block, int64, error) {
+	if len(ids) == 0 {
+		return nil, 0, nil
+	}
+	d.sem.Acquire()
+	defer d.sem.Release()
+	start := d.Clock.Now()
+	d.Clock.Sleep(d.Latency)
+	out := make([]*grid.Block, len(ids))
+	var total int64
+	for i, id := range ids {
+		b, size, err := d.Backend.Fetch(id)
+		if err != nil {
+			d.mu.Lock()
+			d.stats.Errors++
+			d.stats.LastAccess = d.Clock.Now()
+			d.mu.Unlock()
+			return nil, total, err
+		}
+		charged := size
+		if d.ChargeBytes != nil {
+			charged = d.ChargeBytes(id)
+		}
+		d.Clock.Sleep(d.transferTime(charged))
+		out[i] = b
+		total += charged
+	}
+	d.mu.Lock()
+	d.stats.Loads += int64(len(ids))
+	d.stats.Bytes += total
+	d.stats.BusyTime += d.Clock.Now() - start
+	d.stats.LastAccess = d.Clock.Now()
+	d.mu.Unlock()
+	return out, total, nil
+}
+
+func (d *Device) transferTime(bytes int64) time.Duration {
+	if d.Bandwidth <= 0 || bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / d.Bandwidth * float64(time.Second))
+}
+
+// Saturated reports whether the device has no capacity to spare for
+// background work: demand requests are queued, or every channel is busy with
+// a background request already waiting. Background loads back off rather
+// than add to the contention; one queued background request is allowed so a
+// prefetch pipeline survives short demand bursts.
+func (d *Device) Saturated() bool {
+	if d.sem.HighWaiters() > 0 {
+		return true
+	}
+	return d.sem.Free() == 0 && d.sem.LowWaiters() > 0
+}
+
+// EstimateCost predicts the uncontended time to load n bytes; the adaptive
+// loader's fitness function uses it.
+func (d *Device) EstimateCost(bytes int64) time.Duration {
+	return d.Latency + d.transferTime(bytes)
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

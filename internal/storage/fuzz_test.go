@@ -1,0 +1,26 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"viracocha/internal/dataset"
+)
+
+// FuzzDecodeBlock exercises the block decoder with mutated inputs: it must
+// never panic, and any input it accepts must re-encode stably.
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add(EncodeBlock(dataset.Tiny().Generate(0, 0)))
+	f.Add([]byte{})
+	f.Add([]byte{0x4b, 0x42, 0x52, 0x56})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		round := EncodeBlock(b)
+		if !bytes.Equal(round, data) {
+			t.Fatalf("accepted input does not re-encode stably")
+		}
+	})
+}

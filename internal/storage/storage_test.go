@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"viracocha/internal/dataset"
+	"viracocha/internal/grid"
+	"viracocha/internal/vclock"
+)
+
+func testBlock() *grid.Block {
+	return dataset.Tiny().Generate(0, 1)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b := testBlock()
+	data := EncodeBlock(b)
+	got, err := DecodeBlock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != b.ID || got.NI != b.NI || got.NJ != b.NJ || got.NK != b.NK {
+		t.Fatalf("header mismatch: %+v vs %+v", got.ID, b.ID)
+	}
+	if !bytes.Equal(EncodeBlock(got), data) {
+		t.Fatal("round trip unstable")
+	}
+	if len(got.Scalars) != len(b.Scalars) {
+		t.Fatalf("scalar count %d, want %d", len(got.Scalars), len(b.Scalars))
+	}
+	for name, f := range b.Scalars {
+		g := got.Scalars[name]
+		for i := range f {
+			if f[i] != g[i] {
+				t.Fatalf("scalar %s[%d] mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	good := EncodeBlock(testBlock())
+	cases := map[string][]byte{
+		"empty":     {},
+		"badmagic":  append([]byte{1, 2, 3, 4}, good[4:]...),
+		"truncated": good[:len(good)/2],
+		"trailing":  append(append([]byte{}, good...), 0, 0, 0, 0),
+	}
+	for name, d := range cases {
+		if _, err := DecodeBlock(d); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+}
+
+func TestGenBackend(t *testing.T) {
+	g := &GenBackend{Desc: dataset.Tiny()}
+	b, size, err := g.Fetch(grid.BlockID{Dataset: "tiny", Step: 1, Block: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID.Block != 2 || size <= 0 {
+		t.Fatalf("fetch = %+v size=%d", b.ID, size)
+	}
+	if _, _, err := g.Fetch(grid.BlockID{Dataset: "other", Step: 0, Block: 0}); err == nil {
+		t.Fatal("wrong dataset should fail")
+	}
+	if _, _, err := g.Fetch(grid.BlockID{Dataset: "tiny", Step: 9, Block: 0}); err == nil {
+		t.Fatal("out-of-range step should fail")
+	}
+}
+
+func TestMemBackend(t *testing.T) {
+	m := NewMemBackend()
+	if _, _, err := m.Fetch(grid.BlockID{Dataset: "tiny", Step: 0, Block: 0}); err == nil {
+		t.Fatal("empty store should miss")
+	}
+	b := testBlock()
+	m.Put(b)
+	got, size, err := m.Fetch(b.ID)
+	if err != nil || got != b || size != b.SizeBytes() {
+		t.Fatalf("fetch = %v,%d,%v", got, size, err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestDirBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := &DirBackend{Root: dir}
+	b := testBlock()
+	if err := d.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	got, size, err := d.Fetch(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != b.ID || size <= 0 {
+		t.Fatalf("fetch = %+v size=%d", got.ID, size)
+	}
+	if _, _, err := d.Fetch(grid.BlockID{Dataset: "tiny", Step: 1, Block: 3}); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestFailingBackend(t *testing.T) {
+	inner := &GenBackend{Desc: dataset.Tiny()}
+	sentinel := errors.New("nfs down")
+	f := &FailingBackend{
+		Inner: inner,
+		Match: func(id grid.BlockID) bool { return id.Block == 1 },
+		Err:   sentinel,
+	}
+	if _, _, err := f.Fetch(grid.BlockID{Dataset: "tiny", Step: 0, Block: 1}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if _, _, err := f.Fetch(grid.BlockID{Dataset: "tiny", Step: 0, Block: 0}); err != nil {
+		t.Fatalf("unmatched id failed: %v", err)
+	}
+}
+
+func TestDeviceChargesLatencyAndTransfer(t *testing.T) {
+	v := vclock.NewVirtual()
+	// 1 MB/s bandwidth, 10ms latency; charge exactly 1 MB per block.
+	dev := NewDevice("disk", &GenBackend{Desc: dataset.Tiny()}, v, 10*time.Millisecond, 1e6, 1)
+	dev.ChargeBytes = func(grid.BlockID) int64 { return 1e6 }
+	v.Go(func() {
+		_, n, err := dev.Load(grid.BlockID{Dataset: "tiny", Step: 0, Block: 0})
+		if err != nil || n != 1e6 {
+			t.Errorf("load = %d,%v", n, err)
+		}
+	})
+	v.Wait()
+	want := 10*time.Millisecond + time.Second
+	if v.Now() != want {
+		t.Fatalf("charged %v, want %v", v.Now(), want)
+	}
+	s := dev.Stats()
+	if s.Loads != 1 || s.Bytes != 1e6 || s.BusyTime != want {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDeviceSingleChannelSerializes(t *testing.T) {
+	v := vclock.NewVirtual()
+	dev := NewDevice("disk", &GenBackend{Desc: dataset.Tiny()}, v, 0, 1e6, 1)
+	dev.ChargeBytes = func(grid.BlockID) int64 { return 1e6 } // 1s per load
+	for w := 0; w < 3; w++ {
+		blk := w
+		v.Go(func() {
+			if _, _, err := dev.Load(grid.BlockID{Dataset: "tiny", Step: 0, Block: blk}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	v.Wait()
+	if v.Now() != 3*time.Second {
+		t.Fatalf("3 loads on 1 channel took %v, want 3s", v.Now())
+	}
+}
+
+func TestDeviceMultiChannelOverlaps(t *testing.T) {
+	v := vclock.NewVirtual()
+	dev := NewDevice("fs", &GenBackend{Desc: dataset.Tiny()}, v, 0, 1e6, 3)
+	dev.ChargeBytes = func(grid.BlockID) int64 { return 1e6 }
+	for w := 0; w < 3; w++ {
+		blk := w
+		v.Go(func() { dev.Load(grid.BlockID{Dataset: "tiny", Step: 0, Block: blk}) })
+	}
+	v.Wait()
+	if v.Now() != time.Second {
+		t.Fatalf("3 loads on 3 channels took %v, want 1s", v.Now())
+	}
+}
+
+func TestDeviceErrorStillCostsLatency(t *testing.T) {
+	v := vclock.NewVirtual()
+	fb := &FailingBackend{
+		Inner: &GenBackend{Desc: dataset.Tiny()},
+		Match: func(grid.BlockID) bool { return true },
+	}
+	dev := NewDevice("flaky", fb, v, 50*time.Millisecond, 1e6, 1)
+	v.Go(func() {
+		if _, _, err := dev.Load(grid.BlockID{Dataset: "tiny", Step: 0, Block: 0}); err == nil {
+			t.Error("expected failure")
+		}
+	})
+	v.Wait()
+	if v.Now() != 50*time.Millisecond {
+		t.Fatalf("error charged %v, want 50ms", v.Now())
+	}
+	if dev.Stats().Errors != 1 {
+		t.Fatalf("stats = %+v", dev.Stats())
+	}
+}
+
+func TestDeviceEstimateCost(t *testing.T) {
+	v := vclock.NewVirtual()
+	dev := NewDevice("disk", NewMemBackend(), v, 5*time.Millisecond, 2e6, 1)
+	if got := dev.EstimateCost(2e6); got != 5*time.Millisecond+time.Second {
+		t.Fatalf("EstimateCost = %v", got)
+	}
+	// Infinite bandwidth: latency only.
+	fast := NewDevice("ram", NewMemBackend(), v, time.Millisecond, 0, 1)
+	if got := fast.EstimateCost(1 << 30); got != time.Millisecond {
+		t.Fatalf("EstimateCost infinite-bw = %v", got)
+	}
+}
+
+func TestDeviceRealClock(t *testing.T) {
+	r := vclock.NewReal()
+	dev := NewDevice("disk", &GenBackend{Desc: dataset.Tiny()}, r, 0, 0, 2)
+	r.Go(func() {
+		if _, _, err := dev.Load(grid.BlockID{Dataset: "tiny", Step: 1, Block: 3}); err != nil {
+			t.Error(err)
+		}
+	})
+	r.Wait()
+	if dev.Stats().Loads != 1 {
+		t.Fatal("load not recorded")
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	b := dataset.Engine().Generate(3, 7)
+	for _, level := range []int{1, 6, 9} {
+		data, err := CompressBlock(b, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecompressBlock(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(EncodeBlock(got), EncodeBlock(b)) {
+			t.Fatalf("level %d: round trip mismatch", level)
+		}
+	}
+}
+
+func TestCompressionRatioOnCFDData(t *testing.T) {
+	// Smooth float32 CFD fields carry near-random mantissa bits: DEFLATE
+	// should achieve only a modest ratio — the paper's "low compression
+	// rates" finding (§4.3).
+	b := dataset.Propfan().WithScale(2).Generate(0, 50)
+	raw := EncodeBlock(b)
+	comp, err := CompressBlock(b, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(comp)) / float64(len(raw))
+	if ratio < 0.3 {
+		t.Fatalf("ratio %.2f suspiciously good: synthetic data too regular to support the paper's claim", ratio)
+	}
+	if ratio > 1.05 {
+		t.Fatalf("ratio %.2f: compression expanded the data badly", ratio)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	if _, err := DecompressBlock([]byte{0x00, 0x01, 0x02}); err == nil {
+		t.Fatal("expected inflate error")
+	}
+}

@@ -1,0 +1,110 @@
+// Package vortex implements the λ2 vortex criterion (Jeong & Hussain) on
+// curvilinear blocks: the velocity-gradient tensor J is split into strain S
+// and rotation Q, and λ2 is the middle eigenvalue of S²+Q². Vortex regions
+// are where λ2 < 0; extraction triangulates the λ2 ≈ 0 isosurface.
+//
+// Two evaluation modes mirror the paper's two commands: Compute fills the
+// whole scalar field up front (VortexDataMan), while Lazy evaluates nodes on
+// demand so the streamed command can emit active cells long before the full
+// field exists (StreamedVortex, §6.3).
+package vortex
+
+import (
+	"viracocha/internal/grid"
+	"viracocha/internal/mathx"
+)
+
+// FieldName is the scalar field name under which λ2 is stored on blocks.
+const FieldName = "lambda2"
+
+// nonVortex is the λ2 stand-in where the geometric Jacobian is singular
+// (degenerate cells): large positive, so it never reads as a vortex.
+const nonVortex = 1e30
+
+// Compute evaluates λ2 at every node of the block, stores it as the
+// "lambda2" scalar field, and returns the number of nodes computed. It is
+// idempotent: an existing field is recomputed.
+func Compute(b *grid.Block) int {
+	f := b.EnsureScalar(FieldName)
+	n := 0
+	for k := 0; k < b.NK; k++ {
+		for j := 0; j < b.NJ; j++ {
+			for i := 0; i < b.NI; i++ {
+				f[b.Index(i, j, k)] = float32(nodeLambda2(b, i, j, k))
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ComputeInto evaluates λ2 at every node into the caller-provided array
+// (length NumNodes), leaving the block untouched — the form the commands
+// use, since cached blocks are shared across workers and must not be
+// mutated. It returns the number of nodes computed.
+func ComputeInto(b *grid.Block, out []float32) int {
+	n := 0
+	for k := 0; k < b.NK; k++ {
+		for j := 0; j < b.NJ; j++ {
+			for i := 0; i < b.NI; i++ {
+				out[b.Index(i, j, k)] = float32(nodeLambda2(b, i, j, k))
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func nodeLambda2(b *grid.Block, i, j, k int) float64 {
+	jac, ok := b.VelocityGradient(i, j, k)
+	if !ok {
+		return nonVortex
+	}
+	return mathx.Lambda2(jac)
+}
+
+// Lazy evaluates λ2 per node on demand with memoization. The backing array
+// is laid out exactly like a block scalar field, so it can be handed to the
+// isosurface triangulator directly once the relevant nodes are ensured.
+type Lazy struct {
+	B    *grid.Block
+	vals []float32
+	done []bool
+	n    int
+}
+
+// NewLazy prepares a lazy evaluator for the block.
+func NewLazy(b *grid.Block) *Lazy {
+	nn := b.NumNodes()
+	return &Lazy{B: b, vals: make([]float32, nn), done: make([]bool, nn)}
+}
+
+// Node returns λ2 at node (i,j,k), computing it on first access.
+func (l *Lazy) Node(i, j, k int) float64 {
+	idx := l.B.Index(i, j, k)
+	if !l.done[idx] {
+		l.vals[idx] = float32(nodeLambda2(l.B, i, j, k))
+		l.done[idx] = true
+		l.n++
+	}
+	return float64(l.vals[idx])
+}
+
+// EnsureCell computes λ2 at the 8 corners of cell (ci,cj,ck).
+func (l *Lazy) EnsureCell(ci, cj, ck int) {
+	for dk := 0; dk <= 1; dk++ {
+		for dj := 0; dj <= 1; dj++ {
+			for di := 0; di <= 1; di++ {
+				l.Node(ci+di, cj+dj, ck+dk)
+			}
+		}
+	}
+}
+
+// Vals exposes the backing array for the triangulator; only nodes ensured
+// via Node or EnsureCell hold valid values.
+func (l *Lazy) Vals() []float32 { return l.vals }
+
+// ComputedNodes reports how many nodes have been evaluated so far — the
+// cost-model currency of the streamed command.
+func (l *Lazy) ComputedNodes() int { return l.n }

@@ -1,0 +1,176 @@
+package viracocha
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/mesh"
+	"viracocha/internal/vclock"
+)
+
+// Serve exposes the system to visualization clients over TCP (the paper's
+// client↔scheduler link). Each accepted connection can have several
+// requests in flight; streamed partials and results are routed back to the
+// originating connection. Serve blocks until the listener fails; the system
+// must run under the real clock.
+func (s *System) Serve(ln net.Listener) error {
+	if _, ok := s.Clock.(*vclock.Real); !ok {
+		return fmt.Errorf("viracocha: Serve requires a real-clock system")
+	}
+	if !s.started {
+		s.Start()
+	}
+	bridge := fmt.Sprintf("tcp-bridge%d", s.Runtime.NextClientID())
+	ep := s.Runtime.Net.Endpoint(bridge)
+
+	var mu sync.Mutex
+	routes := map[uint64]*routeEntry{} // runtime reqID → connection
+
+	// Dispatcher: routes messages from the fabric back to TCP connections.
+	s.Clock.Go(func() {
+		for {
+			m, ok := ep.Recv()
+			if !ok {
+				return
+			}
+			mu.Lock()
+			r := routes[m.ReqID]
+			if r != nil && m.Final {
+				delete(routes, m.ReqID)
+			}
+			mu.Unlock()
+			if r == nil {
+				continue // connection gone
+			}
+			out := m
+			out.ReqID = r.clientReq
+			if err := r.conn.Send(out); err != nil {
+				// Drop the route; the reader loop will clean up.
+				mu.Lock()
+				delete(routes, m.ReqID)
+				mu.Unlock()
+			}
+		}
+	})
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		conn := comm.NewConn(c)
+		go func() {
+			defer conn.Close()
+			byClient := map[uint64]uint64{} // this conn's reqID → runtime reqID
+			for {
+				m, ok := conn.Recv()
+				if !ok {
+					return
+				}
+				if m.Kind == "cancel" {
+					if rid, ok := byClient[m.ReqID]; ok {
+						ep.Send("scheduler", comm.Message{Kind: "cancel", ReqID: rid})
+					}
+					continue
+				}
+				if m.Kind != "command" {
+					continue
+				}
+				rid := s.Runtime.NextReqID()
+				byClient[m.ReqID] = rid
+				mu.Lock()
+				routes[rid] = &routeEntry{conn: conn, clientReq: m.ReqID}
+				mu.Unlock()
+				fwd := m
+				fwd.ReqID = rid
+				fwd.Params = map[string]string{}
+				for k, v := range m.Params {
+					fwd.Params[k] = v
+				}
+				fwd.Params["client"] = bridge
+				// The TCP reader is not a clock actor, but under the real
+				// clock Send only costs a (tiny) real sleep.
+				if err := ep.Send("scheduler", fwd); err != nil {
+					conn.Send(comm.Message{
+						Kind: "error", ReqID: m.ReqID, Final: true,
+						Params: map[string]string{"error": err.Error()},
+					})
+				}
+			}
+		}()
+	}
+}
+
+type routeEntry struct {
+	conn      *comm.Conn
+	clientReq uint64
+}
+
+// RemoteClient is the TCP counterpart of Client, used by visualization
+// front-ends (and cmd/viracocha-client) against a served System.
+type RemoteClient struct {
+	conn *comm.Conn
+	seq  uint64
+}
+
+// Cancel aborts the in-flight request (safe to call from another goroutine,
+// e.g. a partial-result callback that decided the extraction is useless).
+// The blocked Run returns with the server's cancellation error.
+func (rc *RemoteClient) Cancel() error {
+	return rc.conn.Send(comm.Message{Kind: "cancel", ReqID: rc.seq})
+}
+
+// Dial connects to a served system.
+func Dial(addr string) (*RemoteClient, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteClient{conn: comm.NewConn(c)}, nil
+}
+
+// Close shuts the connection down.
+func (rc *RemoteClient) Close() error { return rc.conn.Close() }
+
+// Run executes a command remotely. onPartial, when non-nil, is invoked for
+// every streamed partial as it arrives, before the final merged result is
+// returned — the hook a renderer uses to display data early.
+func (rc *RemoteClient) Run(command string, params map[string]string, onPartial func(seq int, m *Mesh)) (*Mesh, error) {
+	rc.seq++
+	req := comm.Message{Kind: "command", Command: command, ReqID: rc.seq, Params: params}
+	if err := rc.conn.Send(req); err != nil {
+		return nil, err
+	}
+	merged := &mesh.Mesh{}
+	for {
+		m, ok := rc.conn.Recv()
+		if !ok {
+			return nil, fmt.Errorf("viracocha: connection closed mid-request")
+		}
+		if m.ReqID != rc.seq {
+			continue // stale message from an abandoned request
+		}
+		switch m.Kind {
+		case "partial":
+			part, err := mesh.DecodeBinary(m.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("viracocha: corrupt partial: %w", err)
+			}
+			if onPartial != nil {
+				onPartial(m.Seq, part)
+			}
+			merged.Append(part)
+		case "result":
+			final, err := mesh.DecodeBinary(m.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("viracocha: corrupt result: %w", err)
+			}
+			merged.Append(final)
+			return merged, nil
+		case "error":
+			return merged, fmt.Errorf("viracocha: remote error: %s", m.Params["error"])
+		}
+	}
+}

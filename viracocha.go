@@ -1,0 +1,232 @@
+// Package viracocha is the public API of the Viracocha reproduction: a
+// parallel CFD post-processing framework that decouples feature extraction
+// from visualization (Gerndt et al., SC 2004). A System hosts the scheduler,
+// a worker pool and the data management system; clients submit named
+// commands ("iso.dataman", "vortex.streamed", "pathlines.dataman", …) and
+// receive streamed partial results and a final merged geometry.
+//
+// The runtime can run under the real clock (interactive use, the TCP
+// server) or under a deterministic virtual clock that reproduces the
+// paper's timing experiments on any host; see internal/vclock.
+package viracocha
+
+import (
+	"fmt"
+	"time"
+
+	"viracocha/internal/commands"
+	"viracocha/internal/core"
+	"viracocha/internal/dataset"
+	"viracocha/internal/grid"
+	"viracocha/internal/mesh"
+	"viracocha/internal/prefetch"
+	"viracocha/internal/storage"
+	"viracocha/internal/vclock"
+)
+
+// Re-exported result and geometry types.
+type (
+	// Mesh is the triangle geometry produced by extraction commands.
+	Mesh = mesh.Mesh
+	// RunResult is everything a client observed for one request.
+	RunResult = core.RunResult
+	// RequestStats is the server-side timing record of one request.
+	RequestStats = core.RequestStats
+	// Command is the layer-3 algorithm interface for extending the system.
+	Command = core.Command
+	// DatasetDesc describes a registered multi-block data set.
+	DatasetDesc = dataset.Desc
+)
+
+// Options configures a System.
+type Options struct {
+	// Workers is the worker pool size (default 4).
+	Workers int
+	// VirtualTime runs the system under the deterministic virtual clock
+	// instead of the wall clock. TCP serving requires wall time.
+	VirtualTime bool
+	// Prefetcher selects the system prefetch policy for worker proxies:
+	// "none" (default), "obl", "onmiss", "markov".
+	Prefetcher string
+	// StorageLatency and StorageBandwidth model the storage device backing
+	// registered data sets; zero means instantaneous (real-clock default).
+	StorageLatency   time.Duration
+	StorageBandwidth float64
+	// ChargePaperBytes makes the storage device charge each data set's
+	// paper-scale block size instead of the synthetic block's real size.
+	ChargePaperBytes bool
+}
+
+// System is one Viracocha instance: scheduler, workers, DMS and data sets.
+type System struct {
+	Clock   vclock.Clock
+	Runtime *core.Runtime
+
+	opts    Options
+	started bool
+}
+
+// New assembles a system with the paper's command set registered. Register
+// data sets, then call Start.
+func New(opts Options) *System {
+	if opts.Workers < 1 {
+		opts.Workers = 4
+	}
+	var clk vclock.Clock
+	if opts.VirtualTime {
+		clk = vclock.NewVirtual()
+	} else {
+		clk = vclock.NewReal()
+	}
+	cfg := core.DefaultConfig(opts.Workers)
+	if opts.VirtualTime {
+		cfg.Cost = core.DefaultCostModel()
+	} else {
+		cfg.Cost = core.ZeroCostModel()
+	}
+	rt := core.NewRuntime(clk, cfg)
+	commands.RegisterAll(rt)
+	return &System{Clock: clk, Runtime: rt, opts: opts}
+}
+
+// AddDataset registers one of the built-in synthetic data sets ("engine",
+// "propfan", "tiny") at the given resolution scale, backed by an on-demand
+// generating store behind the configured device model.
+func (s *System) AddDataset(name string, scale int) (*DatasetDesc, error) {
+	if s.started {
+		return nil, fmt.Errorf("viracocha: AddDataset after Start")
+	}
+	d, err := dataset.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d = d.WithScale(scale)
+	s.registerPrefetcher(d)
+	s.Runtime.RegisterDataset(d)
+	dev := storage.NewDevice("store:"+d.Name, &storage.GenBackend{Desc: d}, s.Clock,
+		s.opts.StorageLatency, s.opts.StorageBandwidth, 2)
+	var bytesFor func(grid.BlockID) int64
+	if s.opts.ChargePaperBytes {
+		paper := d.PaperBlockBytes
+		bytesFor = func(grid.BlockID) int64 { return paper }
+		dev.ChargeBytes = bytesFor
+	}
+	s.Runtime.RegisterDevice(dev, bytesFor)
+	return d, nil
+}
+
+// AddDatasetDir registers a data set whose blocks were written to a
+// directory tree by EncodeBlock files (see cmd/viracocha-gen); desc supplies
+// the structural metadata.
+func (s *System) AddDatasetDir(desc *DatasetDesc, dir string) error {
+	if s.started {
+		return fmt.Errorf("viracocha: AddDatasetDir after Start")
+	}
+	s.registerPrefetcher(desc)
+	s.Runtime.RegisterDataset(desc)
+	dev := storage.NewDevice("dir:"+desc.Name, &storage.DirBackend{Root: dir}, s.Clock,
+		s.opts.StorageLatency, s.opts.StorageBandwidth, 2)
+	s.Runtime.RegisterDevice(dev, nil)
+	return nil
+}
+
+// registerPrefetcher wires the chosen system prefetch policy with the data
+// set's canonical block order.
+func (s *System) registerPrefetcher(d *dataset.Desc) {
+	switch s.opts.Prefetcher {
+	case "", "none":
+		return
+	}
+	order := prefetch.FileOrder(d.Steps, d.Blocks)
+	factory := func(string) prefetch.Prefetcher {
+		switch s.opts.Prefetcher {
+		case "obl":
+			return prefetch.NewOBL(order)
+		case "onmiss":
+			return prefetch.NewOnMiss(order)
+		case "markov":
+			m := prefetch.NewMarkov(1, prefetch.NewOBL(order))
+			m.Depth = 4
+			m.MinConfidence = 0.9
+			return m
+		}
+		return prefetch.None{}
+	}
+	s.Runtime.SetPrefetcherFactory(factory)
+}
+
+// Register adds a custom command (layer 3 extension point).
+func (s *System) Register(cmd Command) { s.Runtime.Register(cmd) }
+
+// Start spawns the scheduler and worker actors.
+func (s *System) Start() {
+	s.started = true
+	s.Runtime.Start()
+}
+
+// Session runs fn as the client actor and shuts the system down when fn
+// returns; it blocks until every actor has exited. It is the standard way
+// to drive an in-process system.
+func (s *System) Session(fn func(c *Client)) {
+	if !s.started {
+		s.Start()
+	}
+	s.Clock.Go(func() {
+		cl := &Client{inner: core.NewClient(s.Runtime), sys: s}
+		fn(cl)
+		s.Runtime.Shutdown()
+	})
+	s.Clock.Wait()
+}
+
+// Client submits commands from within a Session.
+type Client struct {
+	inner *core.Client
+	sys   *System
+}
+
+// Run executes a command and waits for the merged result.
+func (c *Client) Run(command string, params map[string]string) (*RunResult, error) {
+	return c.inner.Run(command, params)
+}
+
+// Submit starts a command without waiting; Collect retrieves it.
+func (c *Client) Submit(command string, params map[string]string) (uint64, error) {
+	return c.inner.Submit(command, params)
+}
+
+// Collect waits for a submitted command.
+func (c *Client) Collect(reqID uint64) (*RunResult, error) {
+	return c.inner.Collect(reqID)
+}
+
+// Cancel asks the scheduler to stop a running request (the paper's §5
+// "discard immediately" interaction); Collect still returns, with a
+// cancellation error.
+func (c *Client) Cancel(reqID uint64) error { return c.inner.Cancel(reqID) }
+
+// Inner exposes the underlying core client for subsystems that operate on
+// it directly (e.g. session replay).
+func (c *Client) Inner() *core.Client { return c.inner }
+
+// Stats returns the server-side record of a finished request. Call it after
+// the Session (or after the request's Run returned and a subsequent request
+// completed) to be sure the workers' reports have drained.
+func (c *Client) Stats(reqID uint64) (RequestStats, bool) {
+	return c.sys.Runtime.Sched.Stats(reqID)
+}
+
+// Stats looks a finished request up after the session ended.
+func (s *System) Stats(reqID uint64) (RequestStats, bool) {
+	return s.Runtime.Sched.Stats(reqID)
+}
+
+// Params builds a parameter map from alternating key/value strings:
+// Params("dataset", "engine", "iso", "500").
+func Params(kv ...string) map[string]string {
+	m := map[string]string{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
