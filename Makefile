@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet fuzz check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the actor runtime, the fabric
+# and the virtual clock (plus the fault machinery that drives them).
+race:
+	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over the message codec (incl. fault-plan-mutated frames).
+fuzz:
+	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeMutated -fuzztime=10s
+
+check: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -35,6 +35,7 @@ func main() {
 		points  = flag.Bool("points", false, "render as points (pathline output)")
 		script  = flag.String("session", "", "replay a recorded session script (JSON) instead of -cmd")
 		cancel  = flag.Duration("cancel-after", 0, "cancel the command after this duration (0 = never)")
+		retries = flag.Int("retries", 0, "dial/reconnect attempts on connection failure (0 = fail fast)")
 		ps      paramList
 	)
 	flag.Var(&ps, "p", "command parameter key=value (repeatable)")
@@ -56,7 +57,7 @@ func main() {
 		params[k] = v
 	}
 
-	rc, err := viracocha.Dial(*addr)
+	rc, err := dial(*addr, *retries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,6 +114,15 @@ func main() {
 		}
 		fmt.Println("rendering written to", *out)
 	}
+}
+
+// dial connects fail-fast or, with retries > 0, with capped-backoff re-dial
+// (the returned client then also reconnects after a broken connection).
+func dial(addr string, retries int) (*viracocha.RemoteClient, error) {
+	if retries > 0 {
+		return viracocha.DialRetry(addr, retries, 100*time.Millisecond)
+	}
+	return viracocha.Dial(addr)
 }
 
 // replaySession runs a recorded exploration script against the server,

@@ -18,6 +18,12 @@ import (
 	"viracocha/internal/dataset"
 )
 
+// faultList collects repeatable -fault flags.
+type faultList []string
+
+func (f *faultList) String() string     { return strings.Join(*f, ",") }
+func (f *faultList) Set(v string) error { *f = append(*f, v); return nil }
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":7447", "listen address")
@@ -28,15 +34,44 @@ func main() {
 		prefetch  = flag.String("prefetch", "obl", "system prefetcher: none, obl, onmiss, markov")
 		latency   = flag.Duration("storage-latency", 2*time.Millisecond, "simulated storage latency")
 		bandwidth = flag.Float64("storage-bandwidth", 0, "simulated storage bandwidth B/s (0 = unlimited)")
+		heartbeat = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = default 250ms)")
+		failAfter = flag.Duration("fail-after", 0, "declare a silent worker dead after this (0 = default 2s)")
+		retries   = flag.Int("retries", -1, "per-request recovery retry budget (-1 = default 2)")
+		faultSpec faultList
 	)
+	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N")
 	flag.Parse()
 
-	sys := viracocha.New(viracocha.Options{
+	opts := viracocha.Options{
 		Workers:          *workers,
 		Prefetcher:       *prefetch,
 		StorageLatency:   *latency,
 		StorageBandwidth: *bandwidth,
-	})
+	}
+	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 {
+		ft := viracocha.DefaultFTConfig()
+		if *heartbeat > 0 {
+			ft.HeartbeatEvery = *heartbeat
+		}
+		if *failAfter > 0 {
+			ft.FailAfter = *failAfter
+		}
+		if *retries >= 0 {
+			ft.MaxRetries = *retries
+		}
+		opts.FT = &ft
+	}
+	if len(faultSpec) > 0 {
+		plan := &viracocha.FaultPlan{Seed: 1}
+		for _, spec := range faultSpec {
+			if err := plan.ParseRule(spec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		opts.Faults = plan
+		fmt.Printf("fault injection armed: %d rules\n", len(faultSpec))
+	}
+	sys := viracocha.New(opts)
 	for _, name := range strings.Split(*datasets, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

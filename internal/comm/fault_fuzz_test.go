@@ -1,0 +1,68 @@
+// Fault-plan-driven codec fuzzing. This file is an external test package on
+// purpose: faults imports comm, so importing faults from package comm's own
+// tests would be an import cycle.
+package comm_test
+
+import (
+	"reflect"
+	"testing"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/faults"
+)
+
+func corruptibleFrame() []byte {
+	return comm.Encode(comm.Message{
+		Kind:    "wdone",
+		Command: "iso.dataman",
+		ReqID:   77,
+		Seq:     3,
+		Final:   true,
+		Params:  map[string]string{"worker": "w2", "rank": "1", "attempt": "0"},
+		Payload: []byte("payload bytes that a link fault may corrupt"),
+	})
+}
+
+// TestDecodeSurvivesMutatedFrames replays a spread of seeded fault-plan
+// mutations over a valid frame: the decoder must never panic, and anything
+// it accepts must round-trip.
+func TestDecodeSurvivesMutatedFrames(t *testing.T) {
+	base := corruptibleFrame()
+	for seed := uint64(0); seed < 512; seed++ {
+		data := append([]byte(nil), base...)
+		faults.Mutate(seed, data, int(seed%9)+1)
+		m, err := comm.Decode(data)
+		if err != nil {
+			continue
+		}
+		back, err := comm.Decode(comm.Encode(m))
+		if err != nil {
+			t.Fatalf("seed %d: accepted frame failed to re-decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("seed %d: accepted corrupted frame does not round-trip", seed)
+		}
+	}
+}
+
+// FuzzDecodeMutated lets the fuzzer drive the mutation parameters directly.
+func FuzzDecodeMutated(f *testing.F) {
+	f.Add(uint64(1), 1)
+	f.Add(uint64(42), 4)
+	f.Add(uint64(1<<40), 16)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 64
+		data := corruptibleFrame()
+		faults.Mutate(seed, data, n)
+		m, err := comm.Decode(data)
+		if err != nil {
+			return
+		}
+		if back, err := comm.Decode(comm.Encode(m)); err != nil || !reflect.DeepEqual(m, back) {
+			t.Fatalf("accepted mutated frame does not round-trip (err %v)", err)
+		}
+	})
+}

@@ -1,12 +1,35 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"viracocha/internal/vclock"
 )
+
+// SendFault is the fault injector's verdict for one message in transit:
+// drop it after charging the link, deliver it twice, and/or delay it beyond
+// the modelled link cost. The zero value is a clean delivery.
+type SendFault struct {
+	Drop       bool
+	Duplicate  bool
+	ExtraDelay time.Duration
+}
+
+// FaultInjector decides the fate of each message as it enters a link. It is
+// consulted once per Send; implementations must be safe for concurrent use
+// and deterministic for reproducible experiments (see internal/faults).
+type FaultInjector interface {
+	OnSend(from, to string, m Message) SendFault
+}
+
+// ErrDown is returned by Send when the destination endpoint exists but its
+// inbox has been closed — the node crashed or shut down. The message is
+// lost; senders that care (heartbeat loops) can distinguish it from the
+// unknown-endpoint error.
+var ErrDown = errors.New("comm: endpoint down")
 
 // Network is the in-process message-passing fabric between scheduler and
 // workers (the paper's MPI layer). Every send charges the sender the link
@@ -16,6 +39,9 @@ type Network struct {
 	Clock     vclock.Clock
 	Latency   time.Duration
 	Bandwidth float64 // bytes/s; <=0 means infinite
+	// Faults, when non-nil, is consulted on every Send (fault injection;
+	// nil means a perfectly reliable fabric).
+	Faults FaultInjector
 
 	mu    sync.Mutex
 	nodes map[string]*Endpoint
@@ -26,6 +52,10 @@ type Network struct {
 type NetworkStats struct {
 	Messages int64
 	Bytes    int64
+	// Dropped counts messages lost to injected link faults or dead
+	// destination nodes; Duplicated counts injected duplicate deliveries.
+	Dropped    int64
+	Duplicated int64
 }
 
 // NewNetwork builds a fabric on the given clock with a uniform link model.
@@ -81,10 +111,13 @@ func (e *Endpoint) Name() string { return e.name }
 
 // Send delivers m to the named endpoint, charging the sending actor the
 // link cost. Sending to an unknown endpoint is an error (endpoints are
-// created eagerly at startup).
+// created eagerly at startup); sending to a closed endpoint charges the
+// link, silently discards the message and returns ErrDown — the fabric
+// cannot tell a crashed node from a slow one any faster than that.
 func (e *Endpoint) Send(to string, m Message) error {
 	e.net.mu.Lock()
 	dst, ok := e.net.nodes[to]
+	faults := e.net.Faults
 	if ok {
 		e.net.stats.Messages++
 		e.net.stats.Bytes += m.WireSize()
@@ -93,11 +126,35 @@ func (e *Endpoint) Send(to string, m Message) error {
 	if !ok {
 		return fmt.Errorf("comm: unknown endpoint %q", to)
 	}
+	var f SendFault
+	if faults != nil {
+		f = faults.OnSend(e.name, to, m)
+	}
 	dst.inLink.Acquire()
-	e.net.Clock.Sleep(e.net.transferCost(m.WireSize()))
+	e.net.Clock.Sleep(e.net.transferCost(m.WireSize()) + f.ExtraDelay)
 	dst.inLink.Release()
-	dst.inbox.Push(m)
+	if f.Drop {
+		e.net.countDrop()
+		return nil // lost in transit: the sender cannot know
+	}
+	if !dst.inbox.PushOpen(m) {
+		e.net.countDrop()
+		return ErrDown
+	}
+	if f.Duplicate {
+		if dst.inbox.PushOpen(m) {
+			e.net.mu.Lock()
+			e.net.stats.Duplicated++
+			e.net.mu.Unlock()
+		}
+	}
 	return nil
+}
+
+func (n *Network) countDrop() {
+	n.mu.Lock()
+	n.stats.Dropped++
+	n.mu.Unlock()
 }
 
 // Recv blocks the calling actor until a message arrives; ok is false after

@@ -1,12 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"viracocha/internal/comm"
 	"viracocha/internal/mesh"
 )
+
+// ErrDeadline is reported by CollectTimeout/RunTimeout when the deadline
+// expired before the request's final message arrived. The request itself is
+// cancelled server-side.
+var ErrDeadline = errors.New("core: request deadline exceeded")
 
 // Client is the in-process stand-in for the ViSTA FlowLib visualization
 // client: it submits commands to the scheduler and collects streamed
@@ -15,7 +22,9 @@ import (
 type Client struct {
 	rt    *Runtime
 	ep    *comm.Endpoint
+	tep   *comm.Endpoint // source endpoint for deadline timer messages
 	stash map[uint64][]stamped
+	done  map[uint64]bool // requests already collected; late messages dropped
 }
 
 type stamped struct {
@@ -29,7 +38,13 @@ type stamped struct {
 // endpoint that issued the request.
 func NewClient(rt *Runtime) *Client {
 	name := fmt.Sprintf("client%d", rt.NextClientID())
-	return &Client{rt: rt, ep: rt.Net.Endpoint(name), stash: map[uint64][]stamped{}}
+	return &Client{
+		rt:    rt,
+		ep:    rt.Net.Endpoint(name),
+		tep:   rt.Net.Endpoint(name + ".t"),
+		stash: map[uint64][]stamped{},
+		done:  map[uint64]bool{},
+	}
 }
 
 // Name reports the client's endpoint name.
@@ -46,6 +61,12 @@ type RunResult struct {
 	Packets []*mesh.Mesh
 	// Partials counts streamed packets (excluding the final result).
 	Partials int
+	// Duplicates counts discarded packets: re-streamed after a rank retry,
+	// duplicated by link faults, or belonging to a superseded attempt.
+	Duplicates int
+	// Attempt is the recovery attempt that delivered the final result (0
+	// for a fault-free run).
+	Attempt int
 	// SubmittedAt, FirstAt and FinalAt are clock times of submission, first
 	// received geometry and final message.
 	SubmittedAt, FirstAt, FinalAt time.Duration
@@ -89,12 +110,44 @@ func (c *Client) Submit(command string, params map[string]string) (uint64, error
 // Collect blocks until the request's final message, assembling streamed
 // partials. Messages for other in-flight requests are stashed, so several
 // Submits can be collected in any order.
+//
+// Collect is attempt-aware: after a failover re-runs part (or all) of a
+// request, re-streamed packets are deduplicated by (rank, sequence) and a
+// superseded attempt's output is discarded wholesale, so the assembled
+// geometry matches a fault-free run.
 func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 	res := &RunResult{ReqID: reqID, Merged: &mesh.Mesh{}, SubmittedAt: c.rt.Clock.Now()}
+	defer func() { c.done[reqID] = true }()
+	attempt := 0
+	type packetKey struct{ rank, seq int }
+	seen := map[packetKey]bool{}
 	handle := func(sm stamped) (done bool, err error) {
 		m := sm.msg
+		att := m.IntParam("attempt", attempt)
+		if att < attempt {
+			if m.Kind == "partial" {
+				res.Duplicates++
+			}
+			return false, nil // superseded attempt: drop silently
+		}
+		if att > attempt {
+			// A restarted request re-delivers from scratch: discard the
+			// dead attempt's output.
+			attempt = att
+			res.Duplicates += res.Partials
+			res.Partials = 0
+			res.Packets = nil
+			res.Merged = &mesh.Mesh{}
+			seen = map[packetKey]bool{}
+		}
 		switch m.Kind {
 		case "partial":
+			key := packetKey{rank: m.IntParam("rank", 0), seq: m.Seq}
+			if seen[key] {
+				res.Duplicates++
+				return false, nil
+			}
+			seen[key] = true
 			part, derr := mesh.DecodeBinary(m.Payload)
 			if derr != nil {
 				return false, fmt.Errorf("core: corrupt partial: %w", derr)
@@ -116,6 +169,7 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			}
 			res.Merged.Append(final)
 			res.FinalAt = sm.at
+			res.Attempt = attempt
 			if res.FirstAt == 0 {
 				res.FirstAt = sm.at
 			}
@@ -129,8 +183,13 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			})
 			return false, nil
 		case "error":
-			res.Err = fmt.Errorf("core: remote error: %s", m.Params["error"])
+			if m.Params["deadline"] == "1" {
+				res.Err = ErrDeadline
+			} else {
+				res.Err = fmt.Errorf("core: remote error: %s", m.Params["error"])
+			}
 			res.FinalAt = sm.at
+			res.Attempt = attempt
 			if res.FirstAt == 0 {
 				res.FirstAt = sm.at
 			}
@@ -158,7 +217,9 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 		}
 		sm := stamped{msg: m, at: c.rt.Clock.Now()}
 		if m.ReqID != reqID {
-			c.stash[m.ReqID] = append(c.stash[m.ReqID], sm)
+			if !c.done[m.ReqID] {
+				c.stash[m.ReqID] = append(c.stash[m.ReqID], sm)
+			}
 			continue
 		}
 		done, err := handle(sm)
@@ -169,6 +230,34 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			return res, res.Err
 		}
 	}
+}
+
+// CollectTimeout is Collect with a deadline: when d elapses first, the
+// request is cancelled server-side and the result carries ErrDeadline. d <= 0
+// means no deadline.
+func (c *Client) CollectTimeout(reqID uint64, d time.Duration) (*RunResult, error) {
+	if d > 0 {
+		me := c.ep.Name()
+		c.rt.Clock.Go(func() {
+			c.rt.Clock.Sleep(d)
+			// Both sends are best-effort: the request may have finished, the
+			// runtime may be shutting down.
+			c.tep.Send("scheduler", comm.Message{Kind: "cancel", ReqID: reqID})
+			c.tep.Send(me, comm.Message{
+				Kind:  "error",
+				ReqID: reqID,
+				Final: true,
+				Params: map[string]string{
+					"error":    "request deadline exceeded",
+					"deadline": "1",
+					// An effectively-infinite attempt so the deadline is
+					// never dropped as stale.
+					"attempt": strconv.Itoa(1 << 30),
+				},
+			})
+		})
+	}
+	return c.Collect(reqID)
 }
 
 // Cancel asks the scheduler to cancel a running request. The request still
@@ -185,4 +274,13 @@ func (c *Client) Run(command string, params map[string]string) (*RunResult, erro
 		return nil, err
 	}
 	return c.Collect(reqID)
+}
+
+// RunTimeout submits a command and waits at most d for its completion.
+func (c *Client) RunTimeout(command string, params map[string]string, d time.Duration) (*RunResult, error) {
+	reqID, err := c.Submit(command, params)
+	if err != nil {
+		return nil, err
+	}
+	return c.CollectTimeout(reqID, d)
 }

@@ -51,6 +51,7 @@ type Ctx struct {
 	probes  Probes
 	seq     int
 	streams int
+	attempt int // recovery attempt this execution belongs to
 }
 
 // ErrCancelled is returned by commands that observed a client cancellation
@@ -70,10 +71,12 @@ func (c *Ctx) Proxy() *dms.Proxy { return c.worker.proxy }
 func (c *Ctx) Clock() interface{ Now() time.Duration } { return c.rt.Clock }
 
 // Charge prices d of computation to this worker (virtual time) and adds it
-// to the compute probe.
+// to the compute probe. Like every Ctx method that parks the actor, it is a
+// crash point: a worker that fail-stopped mid-charge never returns.
 func (c *Ctx) Charge(d time.Duration) {
 	if d > 0 {
 		c.rt.Clock.Sleep(d)
+		c.worker.checkCrashed()
 		c.probes.Compute += d
 	}
 }
@@ -84,6 +87,7 @@ func (c *Ctx) Load(id grid.BlockID) (*grid.Block, error) {
 	start := c.rt.Clock.Now()
 	b, err := c.worker.proxy.Get(id)
 	c.probes.Read += c.rt.Clock.Now() - start
+	c.worker.checkCrashed()
 	return b, err
 }
 
@@ -92,6 +96,7 @@ func (c *Ctx) LoadCoarse(id grid.BlockID, level int) (*grid.Block, error) {
 	start := c.rt.Clock.Now()
 	b, err := c.worker.proxy.GetCoarse(id, level)
 	c.probes.Read += c.rt.Clock.Now() - start
+	c.worker.checkCrashed()
 	return b, err
 }
 
@@ -106,6 +111,7 @@ func (c *Ctx) LoadRaw(id grid.BlockID) (*grid.Block, error) {
 	start := c.rt.Clock.Now()
 	b, _, err := dev.Load(id)
 	c.probes.Read += c.rt.Clock.Now() - start
+	c.worker.checkCrashed()
 	return b, err
 }
 
@@ -113,8 +119,11 @@ func (c *Ctx) LoadRaw(id grid.BlockID) (*grid.Block, error) {
 func (c *Ctx) Prefetch(id grid.BlockID) { c.worker.proxy.Prefetch(id) }
 
 // StreamPartial ships a partial result mesh directly to the visualization
-// client (the streaming path), accounting send time.
+// client (the streaming path), accounting send time. The packet carries the
+// sender's rank, per-rank sequence number and attempt, so the client can
+// discard the duplicates a rank retry re-streams.
 func (c *Ctx) StreamPartial(m *mesh.Mesh) error {
+	c.worker.checkCrashed()
 	c.seq++
 	c.streams++
 	msg := comm.Message{
@@ -122,12 +131,17 @@ func (c *Ctx) StreamPartial(m *mesh.Mesh) error {
 		Command: c.Req.Command,
 		ReqID:   c.Req.ReqID,
 		Seq:     c.seq,
-		Params:  map[string]string{"worker": c.worker.node},
+		Params: map[string]string{
+			"worker":  c.worker.node,
+			"rank":    strconv.Itoa(c.Rank),
+			"attempt": strconv.Itoa(c.attempt),
+		},
 		Payload: m.EncodeBinary(),
 	}
 	start := c.rt.Clock.Now()
 	err := c.worker.ep.Send(c.ClientEndpoint(), msg)
 	c.probes.Send += c.rt.Clock.Now() - start
+	c.worker.checkCrashed()
 	return err
 }
 
@@ -142,18 +156,23 @@ func (c *Ctx) Progress(done, total int) {
 	if c.IntParam("progress", 0) == 0 || total <= 0 {
 		return
 	}
+	c.worker.checkCrashed()
 	msg := comm.Message{
 		Kind:    "progress",
 		Command: c.Req.Command,
 		ReqID:   c.Req.ReqID,
 		Params: map[string]string{
-			"worker": c.worker.node,
-			"done":   strconv.Itoa(done),
-			"total":  strconv.Itoa(total),
+			"worker":  c.worker.node,
+			"attempt": strconv.Itoa(c.attempt),
+			"done":    strconv.Itoa(done),
+			"total":   strconv.Itoa(total),
 		},
 	}
 	start := c.rt.Clock.Now()
-	c.worker.ep.Send(c.ClientEndpoint(), msg)
+	if err := c.worker.ep.Send(c.ClientEndpoint(), msg); err != nil {
+		c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
+			"req %d: progress send failed: %v", c.Req.ReqID, err)
+	}
 	c.probes.Send += c.rt.Clock.Now() - start
 }
 

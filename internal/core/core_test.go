@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -425,7 +426,7 @@ func TestMultipleClientsConcurrently(t *testing.T) {
 			defer g.Done()
 			cl := NewClient(rt)
 			res, err := cl.Run("test.stream", map[string]string{
-				"dataset": "tiny", "workers": "2", "packets": itoa(i + 2)})
+				"dataset": "tiny", "workers": "2", "packets": strconv.Itoa(i + 2)})
 			if err != nil {
 				t.Errorf("client %d: %v", i, err)
 				return
@@ -616,22 +617,14 @@ func TestSchedulerIgnoresStrayDone(t *testing.T) {
 	v.Wait()
 }
 
-func TestInt64FromString(t *testing.T) {
+func TestParseNanos(t *testing.T) {
 	cases := map[string]int64{
 		"0": 0, "42": 42, "-7": -7, "": 0, "junk": 0, "12a": 0,
 		"9223372036854775807": 9223372036854775807,
 	}
 	for in, want := range cases {
-		if got := int64FromString(in); got != want {
-			t.Errorf("int64FromString(%q) = %d, want %d", in, got, want)
-		}
-	}
-}
-
-func TestItoa(t *testing.T) {
-	for _, n := range []int{0, 1, 9, 10, 123, 65535} {
-		if got := itoa(n); got != fmt.Sprint(n) {
-			t.Errorf("itoa(%d) = %q", n, got)
+		if got := parseNanos(in); got != want {
+			t.Errorf("parseNanos(%q) = %d, want %d", in, got, want)
 		}
 	}
 }

@@ -52,5 +52,6 @@ func (rt *Runtime) dropWorkQueue(reqID uint64) {
 func (c *Ctx) ClaimWork(total int) (int, bool) {
 	// Claim round trip: ask the scheduler-side queue, get the reply.
 	c.rt.Clock.Sleep(2 * c.rt.Net.Latency)
+	c.worker.checkCrashed()
 	return c.rt.claimWork(c.Req.ReqID, total)
 }

@@ -15,12 +15,47 @@ import (
 	"viracocha/internal/comm"
 	"viracocha/internal/dataset"
 	"viracocha/internal/dms"
+	"viracocha/internal/faults"
 	"viracocha/internal/grid"
 	"viracocha/internal/loader"
 	"viracocha/internal/prefetch"
 	"viracocha/internal/storage"
+	"viracocha/internal/trace"
 	"viracocha/internal/vclock"
 )
+
+// FTConfig tunes failure detection and recovery. The zero value disables
+// heartbeating and monitoring entirely (no automatic failure recovery),
+// which keeps fabrics that cannot fail free of heartbeat traffic.
+type FTConfig struct {
+	// HeartbeatEvery is the worker heartbeat interval and the failure
+	// detector's check interval; <= 0 disables fault tolerance.
+	HeartbeatEvery time.Duration
+	// FailAfter is how long a worker may stay silent before it is declared
+	// dead. It is clamped to at least 2*HeartbeatEvery.
+	FailAfter time.Duration
+	// MaxRetries bounds recovery dispatches per request (requests can
+	// override with the "retries" parameter). 0 means fail on first fault.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// retry up to MaxBackoff. <= 0 retries immediately.
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff; <= 0 means uncapped.
+	MaxBackoff time.Duration
+}
+
+// DefaultFTConfig returns the fault-tolerance defaults: 250ms heartbeats,
+// death after 2s of silence, 2 retries starting at 100ms backoff capped at
+// 5s.
+func DefaultFTConfig() FTConfig {
+	return FTConfig{
+		HeartbeatEvery: 250 * time.Millisecond,
+		FailAfter:      2 * time.Second,
+		MaxRetries:     2,
+		RetryBackoff:   100 * time.Millisecond,
+		MaxBackoff:     5 * time.Second,
+	}
+}
 
 // Config assembles a runtime.
 type Config struct {
@@ -37,6 +72,11 @@ type Config struct {
 	// means no system prefetching. It is called once per worker so policies
 	// that learn (Markov) can be shared or per-node as the caller decides.
 	PrefetcherFor func(node string) prefetch.Prefetcher
+	// FT configures heartbeats, failure detection and retry policy.
+	FT FTConfig
+	// Faults optionally injects failures into the fabric, the workers and
+	// the storage read path (nil = fault-free system).
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns a runtime configuration resembling the paper's
@@ -48,6 +88,7 @@ func DefaultConfig(workers int) Config {
 		NetBandwidth: 1e9,
 		DMS:          dms.DefaultConfig(),
 		Cost:         DefaultCostModel(),
+		FT:           DefaultFTConfig(),
 	}
 }
 
@@ -61,6 +102,12 @@ type Runtime struct {
 	Sched    *Scheduler
 	Workers  []*Worker
 	Datasets map[string]*dataset.Desc
+	// Trace records fault-tolerance events (injections, deaths, retries,
+	// swallowed send errors) for tests and operators.
+	Trace *trace.Log
+
+	cfg    Config
+	faults *faults.Injector
 
 	mu        sync.Mutex
 	registry  map[string]Command
@@ -83,10 +130,18 @@ func NewRuntime(c vclock.Clock, cfg Config) *Runtime {
 		Net:       comm.NewNetwork(c, cfg.NetLatency, cfg.NetBandwidth),
 		Cost:      cfg.Cost,
 		Datasets:  map[string]*dataset.Desc{},
+		Trace:     trace.NewLog(4096),
+		cfg:       cfg,
+		faults:    cfg.Faults,
 		registry:  map[string]Command{},
 		devices:   map[string]*storage.Device{},
 		dynamic:   map[uint64]*dynQueue{},
 		cancelled: map[uint64]bool{},
+	}
+	if cfg.Faults != nil {
+		// Guarded so a nil *faults.Injector never becomes a non-nil
+		// comm.FaultInjector interface value.
+		rt.Net.Faults = cfg.Faults
 	}
 	rt.DMS = dms.NewServer(c, cfg.DMS)
 	rt.Sched = newScheduler(rt)
@@ -108,6 +163,9 @@ func (rt *Runtime) RegisterDataset(d *dataset.Desc) { rt.Datasets[d.Name] = d }
 // proxies (call before Start; devices registered later are not picked up by
 // existing selectors).
 func (rt *Runtime) RegisterDevice(dev *storage.Device, bytesFor func(grid.BlockID) int64) {
+	if rt.faults != nil && dev.ReadFault == nil {
+		dev.ReadFault = rt.faults.OnRead
+	}
 	rt.mu.Lock()
 	rt.devices[dev.Name] = dev
 	rt.mu.Unlock()
@@ -197,13 +255,43 @@ func (rt *Runtime) NextClientID() uint64 {
 	return rt.clientSeq
 }
 
-// Start spawns the scheduler and worker actors. The runtime runs until
+// Start spawns the scheduler and worker actors — plus, when a fault plan
+// schedules worker crashes, one timer actor per doomed worker that
+// fail-stops it at the planned virtual time. The runtime runs until
 // Shutdown.
 func (rt *Runtime) Start() {
 	for _, w := range rt.Workers {
 		w.start()
+		if at, doomed := rt.faults.CrashTime(w.node); doomed {
+			w := w
+			rt.Clock.Go(func() {
+				rt.Clock.Sleep(at)
+				w.crash("fault plan")
+			})
+		}
 	}
 	rt.Sched.start()
+}
+
+// killWorker fences a worker the failure detector has declared dead: even
+// if the node was merely slow or partitioned, it must not act on the system
+// again (fail-stop enforcement).
+func (rt *Runtime) killWorker(node string) {
+	for _, w := range rt.Workers {
+		if w.node == node {
+			w.crash("fenced by scheduler")
+			return
+		}
+	}
+}
+
+// hasDynWork reports whether the request has claimed dynamic work: items
+// claimed by a dead worker die with it, so recovery must restart the whole
+// request rather than a single rank.
+func (rt *Runtime) hasDynWork(reqID uint64) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.dynamic[reqID] != nil
 }
 
 // Shutdown asks the scheduler to stop; it forwards the shutdown to all

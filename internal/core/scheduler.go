@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -9,7 +12,7 @@ import (
 )
 
 // RequestStats is the server-side record of one request: the timings the
-// paper's figures are built from.
+// paper's figures are built from, plus the fault-tolerance outcome.
 type RequestStats struct {
 	ReqID    uint64
 	Command  string
@@ -20,45 +23,117 @@ type RequestStats struct {
 	Probes   Probes        // summed over the group
 	Streams  int           // partial packets streamed to the client
 	Errors   int
+	// Retries counts recovery dispatches (single-rank failovers and full
+	// restarts) performed for this request.
+	Retries int
+	// Degraded reports that the request ran with fewer workers than asked
+	// for because part of the pool was dead.
+	Degraded bool
 }
 
 // TotalRuntime is the paper's "total runtime": dispatch to completion.
 func (s RequestStats) TotalRuntime() time.Duration { return s.End - s.Started }
 
-// Scheduler accepts commands from the client, forms work groups as workers
-// become free, dispatches, and records per-request statistics.
-type Scheduler struct {
-	rt *Runtime
-	ep *comm.Endpoint
+// Worker states as tracked by the scheduler. The zero value is wsFree so an
+// unknown node name (stray message) defaults to a harmless state.
+const (
+	wsFree = iota
+	wsBusy
+	wsDead
+)
 
-	mu       sync.Mutex
-	free     []string
-	pending  []comm.Message
-	active   map[uint64]*activeReq
-	finished map[uint64]RequestStats
-	draining bool
+// busyRef records which piece of which request a busy worker is executing.
+type busyRef struct {
+	reqID uint64
+	rank  int
+}
+
+// redispatch is a queued recovery action: re-run one rank of an attempt, or
+// restart the whole request (rank < 0) under a new attempt number.
+type redispatch struct {
+	reqID   uint64
+	attempt int
+	rank    int
+}
+
+// outMsg is a send the scheduler decided on under its lock but performs
+// after releasing it (sends park the actor on the fabric and must never
+// happen while holding s.mu).
+type outMsg struct {
+	to  string
+	msg comm.Message
+}
+
+// Scheduler accepts commands from the client, forms work groups as workers
+// become free, dispatches, and records per-request statistics. It is also
+// the failure detector: workers heartbeat to it, silence beyond the
+// configured window gets a worker declared dead, and the dead worker's
+// in-flight pieces are retried on survivors (with capped exponential
+// backoff) or the whole request restarted with a smaller group.
+type Scheduler struct {
+	rt  *Runtime
+	ep  *comm.Endpoint
+	tep *comm.Endpoint // source endpoint for delayed self-messages
+
+	mu         sync.Mutex
+	state      map[string]int
+	busy       map[string]busyRef
+	free       []string
+	lastSeen   map[string]time.Duration
+	idleStreak map[string]int
+	pending    []comm.Message
+	active     map[uint64]*activeReq
+	finished   map[uint64]RequestStats
+	redisQ     []redispatch
+	draining   bool
+	stopped    bool
 }
 
 type activeReq struct {
-	stats     RequestStats
-	remaining int
-	members   []string
+	stats      RequestStats
+	req        comm.Message
+	origWant   int
+	attempt    int
+	group      string
+	members    []string
+	done       []bool
+	doneCount  int
+	retries    int
+	maxRetries int
+}
+
+func (ar *activeReq) clientName() string {
+	if c, ok := ar.req.Params["client"]; ok && c != "" {
+		return c
+	}
+	return "client"
 }
 
 func newScheduler(rt *Runtime) *Scheduler {
 	return &Scheduler{
-		rt:       rt,
-		ep:       rt.Net.Endpoint("scheduler"),
-		active:   map[uint64]*activeReq{},
-		finished: map[uint64]RequestStats{},
+		rt:         rt,
+		ep:         rt.Net.Endpoint("scheduler"),
+		tep:        rt.Net.Endpoint("sched.timer"),
+		state:      map[string]int{},
+		busy:       map[string]busyRef{},
+		lastSeen:   map[string]time.Duration{},
+		idleStreak: map[string]int{},
+		active:     map[uint64]*activeReq{},
+		finished:   map[uint64]RequestStats{},
 	}
 }
 
 func (s *Scheduler) start() {
+	now := s.rt.Clock.Now()
 	for _, w := range s.rt.Workers {
+		s.state[w.node] = wsFree
 		s.free = append(s.free, w.node)
+		s.lastSeen[w.node] = now
 	}
 	s.rt.Clock.Go(s.loop)
+	if s.rt.cfg.FT.HeartbeatEvery > 0 {
+		s.rt.Clock.Go(s.monitor)
+	}
 }
 
 func (s *Scheduler) loop() {
@@ -72,10 +147,28 @@ func (s *Scheduler) loop() {
 			s.mu.Lock()
 			s.pending = append(s.pending, m)
 			s.mu.Unlock()
-			s.dispatch()
+			s.pump()
 		case "wdone":
 			s.noteDone(m)
-			s.dispatch()
+			s.pump()
+			if s.maybeFinish() {
+				return
+			}
+		case "hb":
+			s.noteHeartbeat(m)
+			s.pump()
+			if s.maybeFinish() {
+				return
+			}
+		case "redispatch":
+			s.mu.Lock()
+			s.redisQ = append(s.redisQ, redispatch{
+				reqID:   m.ReqID,
+				attempt: m.IntParam("attempt", 0),
+				rank:    m.IntParam("rank", -1),
+			})
+			s.mu.Unlock()
+			s.pump()
 			if s.maybeFinish() {
 				return
 			}
@@ -100,16 +193,48 @@ func (s *Scheduler) loop() {
 	}
 }
 
-// dispatch starts as many pending requests as free workers allow, in FIFO
-// order (a request at the head waiting for a big group blocks later ones —
-// the paper's scheduler is similarly conservative).
-func (s *Scheduler) dispatch() {
-	for {
-		s.mu.Lock()
-		if len(s.pending) == 0 {
-			s.mu.Unlock()
-			return
-		}
+// pump performs every dispatch decision currently possible — queued recovery
+// actions first (they unblock requests already half-done), then fresh FIFO
+// dispatches — and executes the resulting sends outside the lock.
+func (s *Scheduler) pump() {
+	var sends []outMsg
+	s.mu.Lock()
+	s.drainRedispatchLocked(&sends)
+	s.dispatchLocked(&sends)
+	s.mu.Unlock()
+	for _, o := range sends {
+		s.send(o)
+	}
+}
+
+// send performs one decided send, logging failures. A "start" bouncing off a
+// dead endpoint is an immediate failure signal: the worker is declared dead
+// without waiting out the heartbeat window.
+func (s *Scheduler) send(o outMsg) {
+	err := s.ep.Send(o.to, o.msg)
+	if err == nil {
+		return
+	}
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "send %s to %s failed: %v", o.msg.Kind, o.to, err)
+	if errors.Is(err, comm.ErrDown) && o.msg.Kind == "start" {
+		s.declareDead(o.to, "start send bounced: endpoint down")
+		s.pump()
+		return
+	}
+	s.mu.Lock()
+	if ar, ok := s.active[o.msg.ReqID]; ok {
+		ar.stats.Errors++
+	}
+	s.mu.Unlock()
+}
+
+// dispatchLocked starts as many pending requests as free workers allow, in
+// FIFO order (a request at the head waiting for a big group blocks later
+// ones — the paper's scheduler is similarly conservative). A request asking
+// for more workers than are still alive is degraded to the survivors rather
+// than blocking the queue forever; with no survivors at all it fails cleanly.
+func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
+	for len(s.pending) > 0 {
 		req := s.pending[0]
 		want := req.IntParam("workers", 1)
 		if want < 1 {
@@ -118,8 +243,38 @@ func (s *Scheduler) dispatch() {
 		if want > len(s.rt.Workers) {
 			want = len(s.rt.Workers)
 		}
+		alive := s.aliveCountLocked()
+		if alive == 0 {
+			s.pending = s.pending[1:]
+			now := s.rt.Clock.Now()
+			s.finished[req.ReqID] = RequestStats{
+				ReqID:    req.ReqID,
+				Command:  req.Command,
+				Received: now,
+				Started:  now,
+				End:      now,
+				Errors:   1,
+			}
+			s.rt.Trace.Eventf(now, "scheduler", "req %d rejected: no live workers", req.ReqID)
+			to := req.Params["client"]
+			if to == "" {
+				to = "client"
+			}
+			*sends = append(*sends, outMsg{to: to, msg: comm.Message{
+				Kind:    "error",
+				Command: req.Command,
+				ReqID:   req.ReqID,
+				Final:   true,
+				Params:  map[string]string{"error": "core: no live workers", "attempt": "0"},
+			}})
+			continue
+		}
+		degraded := false
+		if want > alive {
+			want = alive
+			degraded = true
+		}
 		if len(s.free) < want {
-			s.mu.Unlock()
 			return
 		}
 		members := append([]string(nil), s.free[:want]...)
@@ -132,87 +287,446 @@ func (s *Scheduler) dispatch() {
 				Workers:  want,
 				Received: s.rt.Clock.Now(),
 				Started:  s.rt.Clock.Now(),
+				Degraded: degraded,
 			},
-			remaining: want,
-			members:   members,
+			req:        req,
+			origWant:   req.IntParam("workers", 1),
+			group:      strings.Join(members, ","),
+			members:    members,
+			done:       make([]bool, want),
+			maxRetries: req.IntParam("retries", s.rt.cfg.FT.MaxRetries),
 		}
 		s.active[req.ReqID] = ar
-		s.mu.Unlock()
-
-		group := strings.Join(members, ",")
+		if degraded {
+			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+				"req %d degraded: %d workers requested, %d alive", req.ReqID, ar.origWant, want)
+		}
 		for rank, node := range members {
-			start := comm.Message{
-				Kind:    "start",
-				Command: req.Command,
-				ReqID:   req.ReqID,
-				Params:  map[string]string{},
-			}
-			for k, v := range req.Params {
-				start.Params[k] = v
-			}
-			start.Params["rank"] = itoa(rank)
-			start.Params["group"] = group
-			s.ep.Send(node, start)
+			s.state[node] = wsBusy
+			s.busy[node] = busyRef{reqID: req.ReqID, rank: rank}
+			*sends = append(*sends, outMsg{to: node, msg: s.startMsgLocked(ar, rank)})
 		}
 	}
 }
 
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
+// startMsgLocked builds the "start" command for one rank of the current
+// attempt of ar.
+func (s *Scheduler) startMsgLocked(ar *activeReq, rank int) comm.Message {
+	start := comm.Message{
+		Kind:    "start",
+		Command: ar.req.Command,
+		ReqID:   ar.req.ReqID,
+		Params:  map[string]string{},
 	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
+	for k, v := range ar.req.Params {
+		start.Params[k] = v
 	}
-	return string(buf[i:])
+	start.Params["rank"] = strconv.Itoa(rank)
+	start.Params["group"] = ar.group
+	start.Params["attempt"] = strconv.Itoa(ar.attempt)
+	return start
 }
 
+func (s *Scheduler) aliveCountLocked() int {
+	n := 0
+	for _, st := range s.state {
+		if st != wsDead {
+			n++
+		}
+	}
+	return n
+}
+
+// noteDone processes a worker's completion report. The sender is freed
+// unconditionally (even when the report is stale) so workers never leak from
+// the pool; the completion is attributed to the request only when it matches
+// the current attempt and the rank is still outstanding.
 func (s *Scheduler) noteDone(m comm.Message) {
+	node := m.Params["worker"]
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if st, known := s.state[node]; known && st == wsBusy {
+		s.state[node] = wsFree
+		delete(s.busy, node)
+		s.idleStreak[node] = 0
+		s.lastSeen[node] = s.rt.Clock.Now()
+		s.free = append(s.free, node)
+	}
 	ar, ok := s.active[m.ReqID]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
-	ar.remaining--
-	ar.stats.Probes.Compute += time.Duration(int64FromString(m.Params["compute_ns"]))
-	ar.stats.Probes.Read += time.Duration(int64FromString(m.Params["read_ns"]))
-	ar.stats.Probes.Send += time.Duration(int64FromString(m.Params["send_ns"]))
+	rank := m.IntParam("rank", 0)
+	att := m.IntParam("attempt", 0)
+	if att != ar.attempt || rank < 0 || rank >= len(ar.done) || ar.done[rank] {
+		// Stale attempt or duplicate rank report: the work was already
+		// accounted (or superseded); only the worker-freeing above matters.
+		s.mu.Unlock()
+		return
+	}
+	ar.done[rank] = true
+	ar.doneCount++
+	ar.stats.Probes.Compute += time.Duration(parseNanos(m.Params["compute_ns"]))
+	ar.stats.Probes.Read += time.Duration(parseNanos(m.Params["read_ns"]))
+	ar.stats.Probes.Send += time.Duration(parseNanos(m.Params["send_ns"]))
 	ar.stats.Streams += m.IntParam("streams", 0)
 	if m.Params["error"] != "" {
 		ar.stats.Errors++
 	}
-	s.free = append(s.free, m.Params["worker"])
-	if ar.remaining == 0 {
-		ar.stats.End = s.rt.Clock.Now()
-		s.finished[m.ReqID] = ar.stats
-		delete(s.active, m.ReqID)
-		s.rt.dropWorkQueue(m.ReqID)
-		s.rt.clearCancelled(m.ReqID)
+	if ar.doneCount == len(ar.done) {
+		s.finishLocked(m.ReqID, ar)
+	}
+	s.mu.Unlock()
+}
+
+func parseNanos(v string) int64 {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// finishLocked retires a request: records its end time and moves it to the
+// finished table.
+func (s *Scheduler) finishLocked(reqID uint64, ar *activeReq) {
+	ar.stats.End = s.rt.Clock.Now()
+	s.finished[reqID] = ar.stats
+	delete(s.active, reqID)
+	s.rt.dropWorkQueue(reqID)
+	s.rt.clearCancelled(reqID)
+}
+
+// noteHeartbeat refreshes the liveness record of the sending worker. A
+// worker that reports idle twice in a row while the scheduler believes it
+// busy has lost its "start" or its "wdone" in transit (two beats rule out an
+// in-flight report racing one beat): the worker is returned to the pool and
+// the orphaned rank failed over.
+func (s *Scheduler) noteHeartbeat(m comm.Message) {
+	node := m.Params["worker"]
+	idle := m.Params["state"] == "idle"
+	var sends []outMsg
+	s.mu.Lock()
+	st, known := s.state[node]
+	if !known || st == wsDead {
+		s.mu.Unlock()
+		return
+	}
+	s.lastSeen[node] = s.rt.Clock.Now()
+	if st == wsBusy && idle {
+		s.idleStreak[node]++
+		if s.idleStreak[node] >= 2 {
+			ref := s.busy[node]
+			delete(s.busy, node)
+			s.state[node] = wsFree
+			s.free = append(s.free, node)
+			s.idleStreak[node] = 0
+			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+				"worker %s idle but assigned req %d rank %d: message lost, failing rank over", node, ref.reqID, ref.rank)
+			s.failoverRankLocked(node, ref.reqID, ref.rank, "message to/from "+node+" lost", &sends)
+		}
+	} else {
+		s.idleStreak[node] = 0
+	}
+	s.mu.Unlock()
+	for _, o := range sends {
+		s.send(o)
 	}
 }
 
-func int64FromString(v string) int64 {
-	var n int64
-	neg := false
-	for i, ch := range v {
-		if i == 0 && ch == '-' {
-			neg = true
+// monitor is the failure detector: it wakes every heartbeat interval and
+// declares dead any worker silent for the (clamped) failure window.
+func (s *Scheduler) monitor() {
+	every := s.rt.cfg.FT.HeartbeatEvery
+	fail := s.rt.cfg.FT.FailAfter
+	if fail < 2*every {
+		fail = 2 * every
+	}
+	for {
+		s.rt.Clock.Sleep(every)
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		now := s.rt.Clock.Now()
+		var suspects []string
+		for node, st := range s.state {
+			if st != wsDead && now-s.lastSeen[node] >= fail {
+				suspects = append(suspects, node)
+			}
+		}
+		s.mu.Unlock()
+		if len(suspects) == 0 {
 			continue
 		}
-		if ch < '0' || ch > '9' {
-			return 0
+		sort.Strings(suspects) // deterministic order regardless of map iteration
+		for _, node := range suspects {
+			s.declareDead(node, "no heartbeat for "+fail.String())
 		}
-		n = n*10 + int64(ch-'0')
+		s.pump()
 	}
-	if neg {
-		return -n
+}
+
+// declareDead transitions a worker to the dead state, fences it so a merely
+// slow or partitioned node cannot act on the system again, and fails over
+// whatever it was running. Idempotent.
+func (s *Scheduler) declareDead(node, reason string) {
+	var sends []outMsg
+	s.mu.Lock()
+	st, known := s.state[node]
+	if !known || st == wsDead {
+		s.mu.Unlock()
+		return
 	}
-	return n
+	s.state[node] = wsDead
+	if st == wsFree {
+		for i, n := range s.free {
+			if n == node {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+				break
+			}
+		}
+	}
+	ref, wasBusy := s.busy[node]
+	delete(s.busy, node)
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "worker %s declared dead: %s", node, reason)
+	if wasBusy {
+		s.failoverRankLocked(node, ref.reqID, ref.rank, "worker "+node+" died", &sends)
+	}
+	s.mu.Unlock()
+	s.rt.killWorker(node)
+	for _, o := range sends {
+		s.send(o)
+	}
+}
+
+// failoverRankLocked recovers one orphaned rank of a request. Losing a
+// non-master rank of a statically-partitioned command re-runs just that rank
+// under the same attempt (the master is still gathering and dedupes by
+// rank). Losing the master — whose partial gather dies with it — or any rank
+// of a command using the dynamic work queue (claimed items die with the
+// claimant) forces a full restart under a new attempt number. Either way the
+// retry is delayed by capped exponential backoff; past the retry budget the
+// request fails cleanly.
+func (s *Scheduler) failoverRankLocked(node string, reqID uint64, rank int, reason string, sends *[]outMsg) {
+	ar := s.active[reqID]
+	if ar == nil || rank < 0 || rank >= len(ar.done) || ar.done[rank] {
+		return
+	}
+	if ar.members[rank] != node {
+		// Stale busy-ref: a full restart already reassigned this rank to
+		// another worker; there is nothing left to recover for this node.
+		return
+	}
+	if ar.retries >= ar.maxRetries {
+		s.failRequestLocked(reqID, ar, reason+" (retries exhausted)", sends)
+		return
+	}
+	ar.retries++
+	ar.stats.Retries++
+	delay := s.backoff(ar.retries)
+	rd := redispatch{reqID: reqID, attempt: ar.attempt, rank: rank}
+	if rank == 0 || s.rt.hasDynWork(reqID) {
+		ar.attempt++
+		rd = redispatch{reqID: reqID, attempt: ar.attempt, rank: -1}
+	}
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+		"req %d retry %d/%d (%s): attempt %d rank %d after %v", reqID, ar.retries, ar.maxRetries, reason, rd.attempt, rd.rank, delay)
+	s.scheduleRedispatch(rd, delay)
+}
+
+// backoff returns the delay before retry n (1-based): RetryBackoff doubled
+// per retry, capped at MaxBackoff.
+func (s *Scheduler) backoff(n int) time.Duration {
+	d := s.rt.cfg.FT.RetryBackoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < n && i < 20; i++ {
+		d *= 2
+	}
+	if max := s.rt.cfg.FT.MaxBackoff; max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// scheduleRedispatch queues a recovery action, after a delay when backoff is
+// configured. Delayed actions arrive back at the scheduler loop as a
+// "redispatch" message from a timer actor, so all state changes stay in one
+// place.
+func (s *Scheduler) scheduleRedispatch(rd redispatch, delay time.Duration) {
+	if delay <= 0 {
+		s.redisQ = append(s.redisQ, rd)
+		return
+	}
+	s.rt.Clock.Go(func() {
+		s.rt.Clock.Sleep(delay)
+		// ErrDown (scheduler already shut down) just retires the timer.
+		s.tep.Send("scheduler", comm.Message{
+			Kind:  "redispatch",
+			ReqID: rd.reqID,
+			Params: map[string]string{
+				"attempt": strconv.Itoa(rd.attempt),
+				"rank":    strconv.Itoa(rd.rank),
+			},
+		})
+	})
+}
+
+// unblockMasterLocked covers for ranks that will never report to the current
+// gather of reqID: when the request's master is alive and still gathering, it
+// receives one muted "wfail" per outstanding rank so the gather unwinds
+// without talking to the client — the scheduler has already decided (and
+// reported) the request's fate.
+func (s *Scheduler) unblockMasterLocked(reqID uint64, ar *activeReq, attempt int, sends *[]outMsg) {
+	master := ar.members[0]
+	if s.state[master] != wsBusy || s.busy[master].reqID != reqID {
+		return
+	}
+	for rank := 1; rank < len(ar.done); rank++ {
+		if ar.done[rank] {
+			continue
+		}
+		*sends = append(*sends, outMsg{to: master, msg: comm.Message{
+			Kind:  "wfail",
+			ReqID: reqID,
+			Params: map[string]string{
+				"rank":    strconv.Itoa(rank),
+				"attempt": strconv.Itoa(attempt),
+				"mute":    "1",
+				"error":   "core: rank " + strconv.Itoa(rank) + " abandoned by scheduler",
+			},
+		}})
+	}
+}
+
+// failRequestLocked retires a request as failed and tells the client, which
+// may be blocked in Collect waiting on a master that no longer exists.
+func (s *Scheduler) failRequestLocked(reqID uint64, ar *activeReq, reason string, sends *[]outMsg) {
+	ar.stats.Errors++
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "req %d failed: %s", reqID, reason)
+	s.unblockMasterLocked(reqID, ar, ar.attempt, sends)
+	s.finishLocked(reqID, ar)
+	*sends = append(*sends, outMsg{to: ar.clientName(), msg: comm.Message{
+		Kind:    "error",
+		Command: ar.req.Command,
+		ReqID:   reqID,
+		Final:   true,
+		Params: map[string]string{
+			"error":   "core: " + reason,
+			"attempt": strconv.Itoa(ar.attempt),
+		},
+	}})
+}
+
+// drainRedispatchLocked services queued recovery actions that can proceed
+// now; the rest stay queued for the next pump (every wdone and heartbeat
+// pumps, so progress is re-evaluated continuously).
+func (s *Scheduler) drainRedispatchLocked(sends *[]outMsg) {
+	var keep []redispatch
+	for _, rd := range s.redisQ {
+		ar := s.active[rd.reqID]
+		if ar == nil || ar.attempt != rd.attempt {
+			continue // superseded or finished while the backoff timer ran
+		}
+		if rd.rank >= 0 {
+			if rd.rank >= len(ar.done) || ar.done[rd.rank] {
+				continue
+			}
+			if len(s.free) > 0 {
+				node := s.free[0]
+				s.free = s.free[1:]
+				s.state[node] = wsBusy
+				s.busy[node] = busyRef{reqID: rd.reqID, rank: rd.rank}
+				ar.members[rd.rank] = node
+				s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+					"req %d rank %d re-dispatched to %s", rd.reqID, rd.rank, node)
+				*sends = append(*sends, outMsg{to: node, msg: s.startMsgLocked(ar, rd.rank)})
+			} else if s.stalledLocked(ar) {
+				// Every live worker is tied up in this same request, so none
+				// will ever free: the master is gathering and waiting for
+				// exactly this rank. Abandon the rank with a failure notice
+				// so the gather completes with an error instead of hanging.
+				ar.done[rd.rank] = true
+				ar.doneCount++
+				ar.stats.Errors++
+				s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+					"req %d rank %d abandoned: no worker available", rd.reqID, rd.rank)
+				*sends = append(*sends, outMsg{to: ar.members[0], msg: comm.Message{
+					Kind:  "wfail",
+					ReqID: rd.reqID,
+					Params: map[string]string{
+						"rank":    strconv.Itoa(rd.rank),
+						"attempt": strconv.Itoa(rd.attempt),
+						"error":   "core: rank " + strconv.Itoa(rd.rank) + " lost and no worker available",
+					},
+				}})
+				if ar.doneCount == len(ar.done) {
+					s.finishLocked(rd.reqID, ar)
+				}
+			} else {
+				keep = append(keep, rd)
+			}
+			continue
+		}
+		// Full restart under the (already bumped) attempt number.
+		alive := s.aliveCountLocked()
+		if alive == 0 {
+			s.failRequestLocked(rd.reqID, ar, "no live workers", sends)
+			continue
+		}
+		want := ar.origWant
+		if want < 1 {
+			want = 1
+		}
+		if want > alive {
+			want = alive
+			ar.stats.Degraded = true
+		}
+		if len(s.free) < want {
+			keep = append(keep, rd)
+			continue
+		}
+		// When the restart was forced by a non-master loss (dynamic-work
+		// command), the previous attempt's master is still alive and
+		// gathering; unwind it before the group is reformed.
+		s.unblockMasterLocked(rd.reqID, ar, rd.attempt-1, sends)
+		members := append([]string(nil), s.free[:want]...)
+		s.free = s.free[want:]
+		ar.members = members
+		ar.group = strings.Join(members, ",")
+		ar.done = make([]bool, want)
+		ar.doneCount = 0
+		ar.stats.Workers = want
+		s.rt.dropWorkQueue(rd.reqID) // the new attempt re-claims dynamic work from scratch
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+			"req %d restarted as attempt %d with %d workers", rd.reqID, rd.attempt, want)
+		for rank, node := range members {
+			s.state[node] = wsBusy
+			s.busy[node] = busyRef{reqID: rd.reqID, rank: rank}
+			*sends = append(*sends, outMsg{to: node, msg: s.startMsgLocked(ar, rank)})
+		}
+	}
+	s.redisQ = keep
+}
+
+// stalledLocked reports that waiting cannot produce a free worker for this
+// request: none is free now, and the only busy live worker is the request's
+// own master — which is parked in its gather waiting for exactly the rank we
+// are trying to place. Busy workers other than that master (whatever request
+// they serve) run bounded commands and will free eventually.
+func (s *Scheduler) stalledLocked(ar *activeReq) bool {
+	if len(s.free) > 0 {
+		return false
+	}
+	for node, st := range s.state {
+		if st == wsBusy && node != ar.members[0] {
+			return false
+		}
+	}
+	return true
 }
 
 // maybeFinish completes shutdown once draining and idle: it stops all
@@ -220,11 +734,15 @@ func int64FromString(v string) int64 {
 func (s *Scheduler) maybeFinish() bool {
 	s.mu.Lock()
 	idle := s.draining && len(s.active) == 0 && len(s.pending) == 0
+	if idle {
+		s.stopped = true
+	}
 	s.mu.Unlock()
 	if !idle {
 		return false
 	}
 	for _, w := range s.rt.Workers {
+		// A dead worker's endpoint is closed; ErrDown is expected.
 		s.ep.Send(w.node, comm.Message{Kind: "shutdown"})
 	}
 	s.ep.Close()
@@ -244,4 +762,11 @@ func (s *Scheduler) FinishedCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.finished)
+}
+
+// LiveWorkers reports how many workers are not (yet) declared dead.
+func (s *Scheduler) LiveWorkers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aliveCountLocked()
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"viracocha/internal/comm"
 	"viracocha/internal/dms"
@@ -11,14 +13,27 @@ import (
 	"viracocha/internal/prefetch"
 )
 
+// crashSignal is the panic value used to unwind a worker that fail-stopped
+// mid-command: execution aborts at the next crash point without reporting
+// anything to anyone, which is exactly what a dead node does.
+type crashSignal struct{}
+
 // Worker is one computing node: an endpoint on the fabric, a DMS proxy, and
-// an actor loop executing work-group commands.
+// an actor loop executing work-group commands. Workers heartbeat to the
+// scheduler and can fail-stop — by fault-injection plan or by being fenced
+// after the failure detector gave up on them.
 type Worker struct {
 	rt    *Runtime
 	node  string
 	ep    *comm.Endpoint
 	pf    prefetch.Prefetcher
 	proxy *dms.Proxy
+
+	dead    atomic.Bool // fail-stopped: no further sends or receives
+	stopped atomic.Bool // clean shutdown: heartbeats cease
+
+	mu   sync.Mutex
+	busy bool // executing a command (reported in heartbeats)
 }
 
 func newWorker(rt *Runtime, node string, pf prefetch.Prefetcher) *Worker {
@@ -36,22 +51,81 @@ func (w *Worker) Node() string { return w.node }
 // Proxy exposes the worker's DMS proxy (tests and cache-priming).
 func (w *Worker) Proxy() *dms.Proxy { return w.proxy }
 
+// Dead reports whether the worker has fail-stopped.
+func (w *Worker) Dead() bool { return w.dead.Load() }
+
+// crash fail-stops the worker: it stops receiving (inbox closed — messages
+// sent to it vanish as at a dead NIC), and every crash point in its
+// execution path aborts. Idempotent.
+func (w *Worker) crash(reason string) {
+	if w.dead.Swap(true) {
+		return
+	}
+	w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node, "crashed: %s", reason)
+	w.ep.Close()
+}
+
+// checkCrashed aborts the current execution if the worker has fail-stopped.
+// Commands hit it transparently through the Ctx data/compute/send methods.
+func (w *Worker) checkCrashed() {
+	if w.dead.Load() {
+		panic(crashSignal{})
+	}
+}
+
+func (w *Worker) setBusy(b bool) {
+	w.mu.Lock()
+	w.busy = b
+	w.mu.Unlock()
+}
+
 // start creates the worker's data proxy — deferred to runtime start so the
 // proxy's loading strategies see every registered device — and spawns the
-// actor loop.
+// actor loop plus the heartbeat actor.
 func (w *Worker) start() {
 	w.proxy = w.rt.DMS.NewProxy(w.node, w.pf)
 	w.rt.Clock.Go(w.loop)
+	if w.rt.cfg.FT.HeartbeatEvery > 0 {
+		w.rt.Clock.Go(w.heartbeatLoop)
+	}
+}
+
+// heartbeatLoop reports liveness (and idle/busy state) to the scheduler
+// every HeartbeatEvery until shutdown or crash. Send errors are expected
+// during teardown (scheduler inbox already closed) and ignored.
+func (w *Worker) heartbeatLoop() {
+	every := w.rt.cfg.FT.HeartbeatEvery
+	for {
+		w.rt.Clock.Sleep(every)
+		if w.stopped.Load() || w.dead.Load() {
+			return
+		}
+		state := "idle"
+		w.mu.Lock()
+		if w.busy {
+			state = "busy"
+		}
+		w.mu.Unlock()
+		w.ep.Send("scheduler", comm.Message{
+			Kind:   "hb",
+			Params: map[string]string{"worker": w.node, "state": state},
+		})
+	}
 }
 
 func (w *Worker) loop() {
 	for {
 		m, ok := w.ep.Recv()
 		if !ok {
+			w.stopped.Store(true)
 			return
+		}
+		if w.dead.Load() {
+			continue // drain and discard: a dead node processes nothing
 		}
 		switch m.Kind {
 		case "shutdown":
+			w.stopped.Store(true)
 			w.ep.Close()
 			return
 		case "start":
@@ -63,10 +137,24 @@ func (w *Worker) loop() {
 	}
 }
 
-// execute runs one command as a member of a work group.
+// execute runs one command as a member of a work group. A crashSignal panic
+// (fail-stop at a crash point) unwinds silently: a dead worker reports
+// nothing; detection and recovery are the scheduler's job.
 func (w *Worker) execute(start comm.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isCrash := r.(crashSignal); isCrash {
+				return
+			}
+			panic(r)
+		}
+	}()
+	w.setBusy(true)
+	defer w.setBusy(false)
+
 	reqID := start.ReqID
 	rank := start.IntParam("rank", 0)
+	attempt := start.IntParam("attempt", 0)
 	group := strings.Split(start.Params["group"], ",")
 	ds := w.rt.Datasets[start.Params["dataset"]]
 	cmd, found := w.rt.Lookup(start.Command)
@@ -80,8 +168,10 @@ func (w *Worker) execute(start comm.Message) {
 		Group:     group,
 		Dataset:   ds,
 		Cost:      w.rt.Cost,
+		attempt:   attempt,
 	}
 
+	w.checkCrashed()
 	var partial *mesh.Mesh
 	var runErr error
 	switch {
@@ -95,6 +185,7 @@ func (w *Worker) execute(start comm.Message) {
 	if partial == nil {
 		partial = &mesh.Mesh{}
 	}
+	w.checkCrashed()
 
 	master := group[0]
 	if rank != 0 {
@@ -103,7 +194,11 @@ func (w *Worker) execute(start comm.Message) {
 			Kind:    "wpartial",
 			Command: start.Command,
 			ReqID:   reqID,
-			Params:  map[string]string{"worker": w.node},
+			Params: map[string]string{
+				"worker":  w.node,
+				"rank":    strconv.Itoa(rank),
+				"attempt": strconv.Itoa(attempt),
+			},
 		}
 		if runErr != nil {
 			msg.Kind = "werror"
@@ -112,7 +207,11 @@ func (w *Worker) execute(start comm.Message) {
 			msg.Payload = partial.EncodeBinary()
 		}
 		sendStart := w.rt.Clock.Now()
-		w.ep.Send(master, msg)
+		if err := w.ep.Send(master, msg); err != nil {
+			// The master is gone; the scheduler will restart the request.
+			w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node,
+				"req %d: %s to master %s failed: %v", reqID, msg.Kind, master, err)
+		}
 		ctx.probes.Send += w.rt.Clock.Now() - sendStart
 	} else {
 		w.masterGather(ctx, partial, runErr)
@@ -122,28 +221,51 @@ func (w *Worker) execute(start comm.Message) {
 
 // masterGather collects the other workers' partials, merges everything into
 // one package and sends it to the visualization client — or an error message
-// when any member failed.
+// when any member failed. Each rank is accepted once per attempt: after a
+// failover re-runs a rank whose first incarnation already delivered (crash
+// between its wpartial and its wdone), the duplicate is dropped, so the
+// merged output is identical to a fault-free run. A "wfail" from the
+// scheduler stands in for a rank that is not coming; a muted wfail
+// additionally suppresses the client send — the scheduler has already told
+// the client the request's fate and only wants the gather unwound.
 func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
 	merged := &mesh.Mesh{}
 	merged.Append(own)
 	var firstErr error
+	muted := false
 	if ownErr != nil {
 		firstErr = ownErr
 	}
+	seen := make([]bool, ctx.GroupSize)
+	seen[0] = true
 	for received := 1; received < ctx.GroupSize; {
 		m, ok := w.ep.Recv()
 		if !ok {
-			return
+			w.checkCrashed()
+			return // shutdown mid-gather: nothing sensible left to send
 		}
+		w.checkCrashed()
 		switch m.Kind {
-		case "wpartial", "werror":
-			if m.ReqID != ctx.Req.ReqID {
-				continue // stale message from an aborted request
+		case "wpartial", "werror", "wfail":
+			if m.ReqID != ctx.Req.ReqID || m.IntParam("attempt", 0) != ctx.attempt {
+				continue // stale message from an aborted request or attempt
 			}
+			rank := m.IntParam("rank", -1)
+			if rank < 1 || rank >= ctx.GroupSize || seen[rank] {
+				continue // out of range, or this rank already delivered
+			}
+			seen[rank] = true
 			received++
-			if m.Kind == "werror" {
+			if m.Kind == "wfail" && m.Params["mute"] == "1" {
+				muted = true
+			}
+			if m.Kind != "wpartial" {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %s", m.Params["worker"], m.Params["error"])
+					who := m.Params["worker"]
+					if who == "" {
+						who = "rank " + strconv.Itoa(rank)
+					}
+					firstErr = fmt.Errorf("%s: %s", who, m.Params["error"])
 				}
 				continue
 			}
@@ -160,11 +282,17 @@ func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
 			// Commands for this worker cannot arrive while it is busy; drop.
 		}
 	}
+	if muted {
+		return // the scheduler already reported this request's fate
+	}
 	out := comm.Message{
 		Command: ctx.Req.Command,
 		ReqID:   ctx.Req.ReqID,
 		Final:   true,
-		Params:  map[string]string{"worker": w.node},
+		Params: map[string]string{
+			"worker":  w.node,
+			"attempt": strconv.Itoa(ctx.attempt),
+		},
 	}
 	if firstErr != nil {
 		out.Kind = "error"
@@ -174,16 +302,22 @@ func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
 		out.Payload = merged.EncodeBinary()
 	}
 	sendStart := w.rt.Clock.Now()
-	w.ep.Send(ctx.ClientEndpoint(), out)
+	if err := w.ep.Send(ctx.ClientEndpoint(), out); err != nil {
+		w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node,
+			"req %d: %s to client %s failed: %v", ctx.Req.ReqID, out.Kind, ctx.ClientEndpoint(), err)
+	}
 	ctx.probes.Send += w.rt.Clock.Now() - sendStart
 }
 
 // sendDone reports this worker's probes to the scheduler, freeing it for the
 // next work group.
 func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
+	w.checkCrashed()
 	p := ctx.probes
 	params := map[string]string{
 		"worker":     w.node,
+		"rank":       strconv.Itoa(ctx.Rank),
+		"attempt":    strconv.Itoa(ctx.attempt),
 		"compute_ns": strconv.FormatInt(p.Compute.Nanoseconds(), 10),
 		"read_ns":    strconv.FormatInt(p.Read.Nanoseconds(), 10),
 		"send_ns":    strconv.FormatInt(p.Send.Nanoseconds(), 10),
@@ -192,9 +326,12 @@ func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
 	if runErr != nil {
 		params["error"] = runErr.Error()
 	}
-	w.ep.Send("scheduler", comm.Message{
+	if err := w.ep.Send("scheduler", comm.Message{
 		Kind:   "wdone",
 		ReqID:  reqID,
 		Params: params,
-	})
+	}); err != nil {
+		w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node,
+			"req %d: wdone send failed: %v", reqID, err)
+	}
 }

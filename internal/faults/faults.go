@@ -1,0 +1,278 @@
+// Package faults provides deterministic, seeded fault injection for the
+// Viracocha fabric, workers and storage. A Plan describes what goes wrong —
+// per-link message drop/duplication/extra delay, worker crashes at a given
+// virtual time, storage read errors — and an Injector compiled from it is
+// wired into comm.Network.Send, the worker runtime and the device read path.
+// Everything is behind nil-by-default hooks, so the happy path is unchanged.
+//
+// Probabilistic decisions are keyed by (Seed, link, per-link message index)
+// through a splitmix64 hash, so a given plan makes the same decisions on
+// every run regardless of goroutine interleaving — under the virtual clock,
+// failure scenarios are exactly reproducible.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/grid"
+)
+
+// Any is the wildcard for string match fields in rules.
+const Any = "*"
+
+// LinkRule applies faults to messages flowing From → To. Empty or "*" match
+// fields match everything.
+type LinkRule struct {
+	// From and To filter on endpoint names ("w0", "scheduler", "client1").
+	From, To string
+	// Kind filters on the message kind ("wdone", "partial", ...).
+	Kind string
+	// Drop and Duplicate are per-message probabilities in [0,1]; 1 means
+	// every matching message.
+	Drop, Duplicate float64
+	// Delay is an extra in-flight delay added to every matching message.
+	Delay time.Duration
+}
+
+// ReadRule injects errors into the storage read path.
+type ReadRule struct {
+	// Dataset filters on the data set name ("" or "*" = any).
+	Dataset string
+	// Step and Block filter on the block address; -1 matches any.
+	Step, Block int
+	// Fail is how many matching reads fail before the rule burns out;
+	// Fail < 0 fails every matching read.
+	Fail int
+}
+
+// Plan is a complete, seeded fault scenario.
+type Plan struct {
+	// Seed drives all probabilistic decisions; the same seed replays the
+	// same faults.
+	Seed uint64
+	// Links are applied in order; the first matching rule decides a
+	// message's fate.
+	Links []LinkRule
+	// Crashes maps worker node names to the virtual time at which the node
+	// fail-stops (it stops sending, receiving and heartbeating).
+	Crashes map[string]time.Duration
+	// Reads are applied in order; the first matching rule with budget left
+	// fails the read.
+	Reads []ReadRule
+}
+
+// CrashAt registers a worker crash and returns the plan for chaining.
+func (p *Plan) CrashAt(node string, at time.Duration) *Plan {
+	if p.Crashes == nil {
+		p.Crashes = map[string]time.Duration{}
+	}
+	p.Crashes[node] = at
+	return p
+}
+
+// ParseRule adds one textual fault rule to the plan (the -fault flag of
+// cmd/viracocha-server). Formats:
+//
+//	crash:NODE@DUR           fail-stop NODE at clock time DUR ("crash:w1@3s")
+//	drop:FROM>TO:KIND:PROB   drop matching messages ("drop:w1>scheduler:wdone:1")
+//	dup:FROM>TO:KIND:PROB    duplicate matching messages
+//	delay:FROM>TO:KIND:DUR   delay matching messages
+//	read:DATASET:STEP:BLOCK:N  fail N matching reads (N<0: all; STEP/BLOCK -1: any)
+//
+// FROM, TO, KIND and DATASET accept "*" as a wildcard.
+func (p *Plan) ParseRule(spec string) error {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("faults: rule %q: missing ':'", spec)
+	}
+	parseLink := func(rest string, n int) (from, to string, parts []string, err error) {
+		fields := strings.Split(rest, ":")
+		if len(fields) != n {
+			return "", "", nil, fmt.Errorf("faults: rule %q: want %d fields, got %d", spec, n, len(fields))
+		}
+		from, to, ok := strings.Cut(fields[0], ">")
+		if !ok {
+			return "", "", nil, fmt.Errorf("faults: rule %q: link must be FROM>TO", spec)
+		}
+		return from, to, fields[1:], nil
+	}
+	switch kind {
+	case "crash":
+		node, at, ok := strings.Cut(rest, "@")
+		if !ok {
+			return fmt.Errorf("faults: rule %q: crash must be crash:NODE@DUR", spec)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			return fmt.Errorf("faults: rule %q: %w", spec, err)
+		}
+		p.CrashAt(node, d)
+	case "drop", "dup":
+		from, to, fields, err := parseLink(rest, 3)
+		if err != nil {
+			return err
+		}
+		prob, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return fmt.Errorf("faults: rule %q: bad probability %q", spec, fields[1])
+		}
+		r := LinkRule{From: from, To: to, Kind: fields[0]}
+		if kind == "drop" {
+			r.Drop = prob
+		} else {
+			r.Duplicate = prob
+		}
+		p.Links = append(p.Links, r)
+	case "delay":
+		from, to, fields, err := parseLink(rest, 3)
+		if err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return fmt.Errorf("faults: rule %q: %w", spec, err)
+		}
+		p.Links = append(p.Links, LinkRule{From: from, To: to, Kind: fields[0], Delay: d})
+	case "read":
+		fields := strings.Split(rest, ":")
+		if len(fields) != 4 {
+			return fmt.Errorf("faults: rule %q: read must be read:DATASET:STEP:BLOCK:N", spec)
+		}
+		step, err1 := strconv.Atoi(fields[1])
+		block, err2 := strconv.Atoi(fields[2])
+		n, err3 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("faults: rule %q: STEP, BLOCK and N must be integers", spec)
+		}
+		p.Reads = append(p.Reads, ReadRule{Dataset: fields[0], Step: step, Block: block, Fail: n})
+	default:
+		return fmt.Errorf("faults: rule %q: unknown kind %q", spec, kind)
+	}
+	return nil
+}
+
+// Injector is a compiled Plan: it implements comm.FaultInjector and the
+// storage read-fault hook. The zero Injector (or nil) injects nothing.
+type Injector struct {
+	plan Plan
+
+	mu      sync.Mutex
+	linkSeq map[string]uint64 // per-link message counter
+	readHit []int             // per-read-rule consumed budget
+}
+
+// New compiles a plan. A nil plan yields a nil injector, which callers treat
+// as "no faults".
+func New(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{
+		plan:    *p,
+		linkSeq: map[string]uint64{},
+		readHit: make([]int, len(p.Reads)),
+	}
+}
+
+func matchStr(pat, v string) bool { return pat == "" || pat == Any || pat == v }
+func matchInt(pat, v int) bool    { return pat < 0 || pat == v }
+
+// OnSend implements comm.FaultInjector: it decides the fate of one message
+// entering the from→to link. Decisions are deterministic per (seed, link,
+// message index on that link).
+func (in *Injector) OnSend(from, to string, m comm.Message) comm.SendFault {
+	if in == nil || len(in.plan.Links) == 0 {
+		return comm.SendFault{}
+	}
+	link := from + "\x00" + to
+	in.mu.Lock()
+	seq := in.linkSeq[link]
+	in.linkSeq[link] = seq + 1
+	in.mu.Unlock()
+	for _, r := range in.plan.Links {
+		if !matchStr(r.From, from) || !matchStr(r.To, to) || !matchStr(r.Kind, m.Kind) {
+			continue
+		}
+		var f comm.SendFault
+		f.ExtraDelay = r.Delay
+		if r.Drop > 0 && in.roll(link, seq, 1) < r.Drop {
+			f.Drop = true
+		}
+		if r.Duplicate > 0 && in.roll(link, seq, 2) < r.Duplicate {
+			f.Duplicate = true
+		}
+		return f
+	}
+	return comm.SendFault{}
+}
+
+// CrashTime reports the planned fail-stop time of a node.
+func (in *Injector) CrashTime(node string) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	at, ok := in.plan.Crashes[node]
+	return at, ok
+}
+
+// OnRead is the storage hook: a non-nil error fails the read of id.
+func (in *Injector) OnRead(id grid.BlockID) error {
+	if in == nil || len(in.plan.Reads) == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.plan.Reads {
+		if !matchStr(r.Dataset, id.Dataset) || !matchInt(r.Step, id.Step) || !matchInt(r.Block, id.Block) {
+			continue
+		}
+		if r.Fail >= 0 && in.readHit[i] >= r.Fail {
+			continue
+		}
+		in.readHit[i]++
+		return fmt.Errorf("faults: injected read error for %s step %d block %d", id.Dataset, id.Step, id.Block)
+	}
+	return nil
+}
+
+// roll returns a deterministic uniform value in [0,1) for decision slot
+// `salt` of message `seq` on `link`.
+func (in *Injector) roll(link string, seq, salt uint64) float64 {
+	h := in.plan.Seed
+	for i := 0; i < len(link); i++ {
+		h = (h ^ uint64(link[i])) * 0x100000001b3
+	}
+	h ^= seq*0x9e3779b97f4a7c15 + salt
+	return float64(splitmix64(h)>>11) / float64(1<<53)
+}
+
+// splitmix64 is the finalizer of the splitmix64 PRNG: a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mutate flips up to n bytes of data in place, choosing positions and values
+// from the seeded generator — the codec fuzzer uses it to derive
+// fault-plan-style corruptions of valid frames deterministically.
+func Mutate(seed uint64, data []byte, n int) {
+	if len(data) == 0 {
+		return
+	}
+	h := seed
+	for i := 0; i < n; i++ {
+		h = splitmix64(h)
+		pos := int(h % uint64(len(data)))
+		h = splitmix64(h)
+		data[pos] ^= byte(h)
+	}
+}
+
+var _ comm.FaultInjector = (*Injector)(nil)

@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/grid"
+)
+
+func TestOnSendDeterministicAcrossInjectors(t *testing.T) {
+	plan := &Plan{
+		Seed: 42,
+		Links: []LinkRule{
+			{From: "w1", To: "scheduler", Kind: "wdone", Drop: 0.5, Duplicate: 0.25},
+		},
+	}
+	a, b := New(plan), New(plan)
+	msg := comm.Message{Kind: "wdone"}
+	for i := 0; i < 200; i++ {
+		fa := a.OnSend("w1", "scheduler", msg)
+		fb := b.OnSend("w1", "scheduler", msg)
+		if fa != fb {
+			t.Fatalf("message %d: decisions diverge: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+func TestOnSendSeedChangesDecisions(t *testing.T) {
+	mk := func(seed uint64) []bool {
+		in := New(&Plan{Seed: seed, Links: []LinkRule{{Drop: 0.5}}})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.OnSend("a", "b", comm.Message{Kind: "x"}).Drop
+		}
+		return out
+	}
+	x, y := mk(1), mk(2)
+	same := true
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical drop sequences")
+	}
+}
+
+func TestOnSendMatchingAndWildcards(t *testing.T) {
+	in := New(&Plan{Links: []LinkRule{
+		{From: "w0", To: Any, Kind: "wdone", Drop: 1},
+		{From: Any, To: "client", Kind: Any, Delay: time.Second},
+	}})
+	if f := in.OnSend("w0", "scheduler", comm.Message{Kind: "wdone"}); !f.Drop {
+		t.Fatal("exact-from wdone not dropped")
+	}
+	if f := in.OnSend("w1", "scheduler", comm.Message{Kind: "wdone"}); f.Drop {
+		t.Fatal("rule for w0 matched w1")
+	}
+	if f := in.OnSend("w1", "client", comm.Message{Kind: "partial"}); f.ExtraDelay != time.Second {
+		t.Fatalf("delay rule not applied: %+v", f)
+	}
+	if f := in.OnSend("w1", "other", comm.Message{Kind: "partial"}); f != (comm.SendFault{}) {
+		t.Fatalf("unmatched message got fault %+v", f)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if f := in.OnSend("a", "b", comm.Message{}); f != (comm.SendFault{}) {
+		t.Fatal("nil injector faulted a send")
+	}
+	if err := in.OnRead(grid.BlockID{}); err != nil {
+		t.Fatal("nil injector failed a read")
+	}
+	if _, doomed := in.CrashTime("w0"); doomed {
+		t.Fatal("nil injector crashed a node")
+	}
+}
+
+func TestReadRuleBudget(t *testing.T) {
+	in := New(&Plan{Reads: []ReadRule{
+		{Dataset: "tiny", Step: 0, Block: -1, Fail: 2},
+	}})
+	id := grid.BlockID{Dataset: "tiny", Step: 0, Block: 3}
+	if in.OnRead(id) == nil || in.OnRead(id) == nil {
+		t.Fatal("first two matching reads should fail")
+	}
+	if in.OnRead(id) != nil {
+		t.Fatal("read rule budget not exhausted after Fail reads")
+	}
+	if in.OnRead(grid.BlockID{Dataset: "other"}) != nil {
+		t.Fatal("rule matched the wrong dataset")
+	}
+}
+
+func TestReadRuleUnlimited(t *testing.T) {
+	in := New(&Plan{Reads: []ReadRule{{Dataset: Any, Step: -1, Block: -1, Fail: -1}}})
+	for i := 0; i < 10; i++ {
+		if in.OnRead(grid.BlockID{Dataset: "d", Step: i, Block: i}) == nil {
+			t.Fatalf("read %d unexpectedly succeeded under Fail<0 rule", i)
+		}
+	}
+}
+
+func TestCrashTime(t *testing.T) {
+	p := (&Plan{}).CrashAt("w2", 3*time.Second)
+	in := New(p)
+	if at, ok := in.CrashTime("w2"); !ok || at != 3*time.Second {
+		t.Fatalf("CrashTime(w2) = %v, %v", at, ok)
+	}
+	if _, ok := in.CrashTime("w0"); ok {
+		t.Fatal("CrashTime invented a crash for w0")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	var p Plan
+	for _, spec := range []string{
+		"crash:w1@3s",
+		"drop:w1>scheduler:wdone:1",
+		"dup:*>client:partial:0.5",
+		"delay:w0>w1:wpartial:250ms",
+		"read:tiny:-1:-1:2",
+	} {
+		if err := p.ParseRule(spec); err != nil {
+			t.Fatalf("ParseRule(%q): %v", spec, err)
+		}
+	}
+	if p.Crashes["w1"] != 3*time.Second {
+		t.Fatalf("crash not recorded: %+v", p.Crashes)
+	}
+	if len(p.Links) != 3 {
+		t.Fatalf("links = %d, want 3", len(p.Links))
+	}
+	if p.Links[0] != (LinkRule{From: "w1", To: "scheduler", Kind: "wdone", Drop: 1}) {
+		t.Fatalf("drop rule = %+v", p.Links[0])
+	}
+	if p.Links[1].Duplicate != 0.5 || p.Links[1].From != Any {
+		t.Fatalf("dup rule = %+v", p.Links[1])
+	}
+	if p.Links[2].Delay != 250*time.Millisecond {
+		t.Fatalf("delay rule = %+v", p.Links[2])
+	}
+	if p.Reads[0] != (ReadRule{Dataset: "tiny", Step: -1, Block: -1, Fail: 2}) {
+		t.Fatalf("read rule = %+v", p.Reads[0])
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	var p Plan
+	for _, spec := range []string{
+		"",
+		"nonsense",
+		"frob:w1>w2:x:1",
+		"crash:w1",
+		"crash:w1@never",
+		"drop:w1:wdone:1",
+		"drop:w1>s:wdone:2.0",
+		"drop:w1>s:wdone",
+		"delay:w1>s:wdone:fast",
+		"read:tiny:-1:-1",
+		"read:tiny:a:b:c",
+	} {
+		if err := p.ParseRule(spec); err == nil {
+			t.Errorf("ParseRule(%q) accepted invalid rule", spec)
+		}
+	}
+}
+
+func TestMutateDeterministic(t *testing.T) {
+	base := []byte("viracocha frame payload for mutation")
+	a := append([]byte(nil), base...)
+	b := append([]byte(nil), base...)
+	Mutate(99, a, 8)
+	Mutate(99, b, 8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different mutations")
+	}
+	if bytes.Equal(a, base) {
+		t.Fatal("mutation changed nothing")
+	}
+	c := append([]byte(nil), base...)
+	Mutate(100, c, 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical mutations")
+	}
+	Mutate(1, nil, 4) // must not panic on empty input
+}

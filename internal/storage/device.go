@@ -24,6 +24,11 @@ type Device struct {
 	// accounting, e.g. to charge paper-scale block sizes for synthetic
 	// blocks. When nil the backend-reported size is charged.
 	ChargeBytes func(grid.BlockID) int64
+	// ReadFault, when non-nil, is consulted before every backend fetch; a
+	// non-nil error fails the read as if the medium had failed (fault
+	// injection — see internal/faults). The failed request still costs its
+	// latency.
+	ReadFault func(grid.BlockID) error
 
 	sem   *vclock.Semaphore
 	mu    sync.Mutex
@@ -75,7 +80,15 @@ func (d *Device) load(id grid.BlockID, background bool) (*grid.Block, int64, err
 	}
 	defer d.sem.Release()
 	start := d.Clock.Now()
-	b, size, err := d.Backend.Fetch(id)
+	var b *grid.Block
+	var size int64
+	var err error
+	if d.ReadFault != nil {
+		err = d.ReadFault(id)
+	}
+	if err == nil {
+		b, size, err = d.Backend.Fetch(id)
+	}
 	if err != nil {
 		// A failed request still costs its latency (e.g. an NFS timeout).
 		d.Clock.Sleep(d.Latency)
@@ -115,7 +128,15 @@ func (d *Device) LoadRun(ids []grid.BlockID) ([]*grid.Block, int64, error) {
 	out := make([]*grid.Block, len(ids))
 	var total int64
 	for i, id := range ids {
-		b, size, err := d.Backend.Fetch(id)
+		var b *grid.Block
+		var size int64
+		var err error
+		if d.ReadFault != nil {
+			err = d.ReadFault(id)
+		}
+		if err == nil {
+			b, size, err = d.Backend.Fetch(id)
+		}
 		if err != nil {
 			d.mu.Lock()
 			d.stats.Errors++

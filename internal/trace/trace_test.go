@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogRecordsInOrder(t *testing.T) {
+	l := NewLog(64)
+	l.Eventf(time.Second, "scheduler", "worker %s declared dead", "w1")
+	l.Eventf(2*time.Second, "worker:w1", "crashed")
+	ev := l.Events()
+	if len(ev) != 2 || l.Len() != 2 {
+		t.Fatalf("events = %d, Len = %d, want 2", len(ev), l.Len())
+	}
+	if ev[0].Msg != "worker w1 declared dead" || ev[0].Actor != "scheduler" || ev[0].At != time.Second {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if !strings.Contains(ev[1].String(), "worker:w1: crashed") {
+		t.Fatalf("String() = %q", ev[1].String())
+	}
+}
+
+func TestLogRingBound(t *testing.T) {
+	l := NewLog(16) // minimum capacity
+	for i := 0; i < 40; i++ {
+		l.Eventf(time.Duration(i), "a", "event %d", i)
+	}
+	if l.Len() != 16 {
+		t.Fatalf("Len = %d, want capacity 16", l.Len())
+	}
+	if l.Dropped() != 24 {
+		t.Fatalf("Dropped = %d, want 24", l.Dropped())
+	}
+	ev := l.Events()
+	if ev[0].Msg != "event 24" || ev[15].Msg != "event 39" {
+		t.Fatalf("ring kept wrong window: first %q last %q", ev[0].Msg, ev[15].Msg)
+	}
+}
+
+func TestLogMatching(t *testing.T) {
+	l := NewLog(32)
+	l.Eventf(0, "scheduler", "req 1 retry 1/2")
+	l.Eventf(0, "scheduler", "req 1 finished")
+	l.Eventf(0, "scheduler", "req 2 retry 1/2")
+	if got := len(l.Matching("retry")); got != 2 {
+		t.Fatalf("Matching(retry) = %d, want 2", got)
+	}
+	if got := len(l.Matching("nope")); got != 0 {
+		t.Fatalf("Matching(nope) = %d, want 0", got)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Eventf(0, "x", "dropped silently")
+	if l.Events() != nil || l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatal("nil log not inert")
+	}
+	if l.Matching("x") != nil {
+		t.Fatal("nil log matched something")
+	}
+}

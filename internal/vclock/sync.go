@@ -31,6 +31,23 @@ func (q *Queue[T]) Push(v T) {
 	q.mu.Unlock()
 }
 
+// PushOpen appends v like Push, but a closed queue drops the item and
+// reports false instead of panicking. The communication layer uses it to
+// model messages sent to a node that has crashed or shut down: on a real
+// fabric such packets vanish at the dead NIC rather than crashing the
+// sender.
+func (q *Queue[T]) PushOpen(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, v)
+	q.wakeOneLocked()
+	q.mu.Unlock()
+	return true
+}
+
 // Close marks the queue as closed and wakes all parked consumers. Pending
 // items can still be drained; after that, Pop reports ok=false.
 func (q *Queue[T]) Close() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"viracocha/internal/comm"
 	"viracocha/internal/mesh"
@@ -109,10 +110,24 @@ type routeEntry struct {
 }
 
 // RemoteClient is the TCP counterpart of Client, used by visualization
-// front-ends (and cmd/viracocha-client) against a served System.
+// front-ends (and cmd/viracocha-client) against a served System. When
+// MaxReconnects is set, a broken connection is re-dialed with capped
+// exponential backoff: a send that never reached the server is retried
+// transparently, while a connection lost mid-request returns a clear error
+// (the in-flight request cannot be resumed) with the link restored for the
+// next request.
 type RemoteClient struct {
+	addr string
 	conn *comm.Conn
 	seq  uint64
+
+	// MaxReconnects bounds re-dial attempts after a broken connection;
+	// 0 disables reconnection.
+	MaxReconnects int
+	// ReconnectBackoff is the delay before the first re-dial attempt,
+	// doubling per attempt up to ReconnectMaxBackoff. Defaults: 100ms / 5s.
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
 }
 
 // Cancel aborts the in-flight request (safe to call from another goroutine,
@@ -128,7 +143,75 @@ func Dial(addr string) (*RemoteClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteClient{conn: comm.NewConn(c)}, nil
+	return &RemoteClient{addr: addr, conn: comm.NewConn(c)}, nil
+}
+
+// DialRetry connects to a served system, retrying a failed dial up to
+// attempts times with capped exponential backoff (for clients started before
+// or during a server restart). The returned client keeps the same retry
+// budget for later reconnections.
+func DialRetry(addr string, attempts int, backoff time.Duration) (*RemoteClient, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	delay := backoff
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > 5*time.Second {
+				delay = 5 * time.Second
+			}
+		}
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return &RemoteClient{
+				addr:             addr,
+				conn:             comm.NewConn(c),
+				MaxReconnects:    attempts,
+				ReconnectBackoff: backoff,
+			}, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("viracocha: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// Reconnect closes the current connection and re-dials with capped
+// exponential backoff. In-flight requests are lost (the server routes their
+// replies to the dead connection); subsequent requests use the new link.
+func (rc *RemoteClient) Reconnect() error {
+	if rc.MaxReconnects <= 0 {
+		return fmt.Errorf("viracocha: reconnection disabled (MaxReconnects = 0)")
+	}
+	rc.conn.Close()
+	delay := rc.ReconnectBackoff
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	max := rc.ReconnectMaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	var lastErr error
+	for i := 0; i < rc.MaxReconnects; i++ {
+		c, err := net.Dial("tcp", rc.addr)
+		if err == nil {
+			rc.conn = comm.NewConn(c)
+			return nil
+		}
+		lastErr = err
+		time.Sleep(delay)
+		delay *= 2
+		if delay > max {
+			delay = max
+		}
+	}
+	return fmt.Errorf("viracocha: reconnect to %s failed after %d attempts: %w", rc.addr, rc.MaxReconnects, lastErr)
 }
 
 // Close shuts the connection down.
@@ -136,24 +219,55 @@ func (rc *RemoteClient) Close() error { return rc.conn.Close() }
 
 // Run executes a command remotely. onPartial, when non-nil, is invoked for
 // every streamed partial as it arrives, before the final merged result is
-// returned — the hook a renderer uses to display data early.
+// returned — the hook a renderer uses to display data early. Packets
+// re-streamed by a server-side failover are deduplicated, so the merged
+// result matches a fault-free run.
 func (rc *RemoteClient) Run(command string, params map[string]string, onPartial func(seq int, m *Mesh)) (*Mesh, error) {
 	rc.seq++
 	req := comm.Message{Kind: "command", Command: command, ReqID: rc.seq, Params: params}
 	if err := rc.conn.Send(req); err != nil {
-		return nil, err
+		// The command never reached the server: reconnecting and resending
+		// is safe.
+		if rerr := rc.Reconnect(); rerr != nil {
+			return nil, fmt.Errorf("viracocha: send failed (%v); %w", err, rerr)
+		}
+		if err := rc.conn.Send(req); err != nil {
+			return nil, err
+		}
 	}
 	merged := &mesh.Mesh{}
+	attempt := 0
+	type packetKey struct{ rank, seq int }
+	seen := map[packetKey]bool{}
 	for {
 		m, ok := rc.conn.Recv()
 		if !ok {
-			return nil, fmt.Errorf("viracocha: connection closed mid-request")
+			// The request's replies are bound to the dead connection and
+			// cannot be recovered; restore the link for the next request.
+			if rerr := rc.Reconnect(); rerr != nil {
+				return nil, fmt.Errorf("viracocha: connection lost mid-request; %w", rerr)
+			}
+			return nil, fmt.Errorf("viracocha: connection lost mid-request (reconnected; resubmit the command)")
 		}
 		if m.ReqID != rc.seq {
 			continue // stale message from an abandoned request
 		}
+		att := m.IntParam("attempt", attempt)
+		if att < attempt {
+			continue // superseded recovery attempt
+		}
+		if att > attempt {
+			attempt = att
+			merged = &mesh.Mesh{}
+			seen = map[packetKey]bool{}
+		}
 		switch m.Kind {
 		case "partial":
+			key := packetKey{rank: m.IntParam("rank", 0), seq: m.Seq}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
 			part, err := mesh.DecodeBinary(m.Payload)
 			if err != nil {
 				return nil, fmt.Errorf("viracocha: corrupt partial: %w", err)

@@ -17,10 +17,12 @@ import (
 	"viracocha/internal/commands"
 	"viracocha/internal/core"
 	"viracocha/internal/dataset"
+	"viracocha/internal/faults"
 	"viracocha/internal/grid"
 	"viracocha/internal/mesh"
 	"viracocha/internal/prefetch"
 	"viracocha/internal/storage"
+	"viracocha/internal/trace"
 	"viracocha/internal/vclock"
 )
 
@@ -36,7 +38,21 @@ type (
 	Command = core.Command
 	// DatasetDesc describes a registered multi-block data set.
 	DatasetDesc = dataset.Desc
+	// FTConfig tunes heartbeats, failure detection and retry policy.
+	FTConfig = core.FTConfig
+	// FaultPlan is a seeded, deterministic fault-injection scenario.
+	FaultPlan = faults.Plan
+	// TraceEvent is one recorded fault-tolerance event.
+	TraceEvent = trace.Event
 )
+
+// ErrDeadline is reported when a request deadline expired before completion.
+var ErrDeadline = core.ErrDeadline
+
+// DefaultFTConfig returns the fault-tolerance defaults (250ms heartbeats, 2s
+// failure window, 2 retries with 100ms→5s backoff) for callers that want to
+// tweak a single knob via Options.FT.
+func DefaultFTConfig() FTConfig { return core.DefaultFTConfig() }
 
 // Options configures a System.
 type Options struct {
@@ -55,6 +71,13 @@ type Options struct {
 	// ChargePaperBytes makes the storage device charge each data set's
 	// paper-scale block size instead of the synthetic block's real size.
 	ChargePaperBytes bool
+	// FT overrides the fault-tolerance defaults (heartbeat interval,
+	// failure window, retry budget and backoff); nil keeps DefaultFTConfig.
+	FT *FTConfig
+	// Faults injects a deterministic failure scenario — per-link message
+	// drop/duplication/delay, worker crashes at given virtual times,
+	// storage read errors. Nil means a fault-free system.
+	Faults *FaultPlan
 }
 
 // System is one Viracocha instance: scheduler, workers, DMS and data sets.
@@ -84,6 +107,10 @@ func New(opts Options) *System {
 	} else {
 		cfg.Cost = core.ZeroCostModel()
 	}
+	if opts.FT != nil {
+		cfg.FT = *opts.FT
+	}
+	cfg.Faults = faults.New(opts.Faults)
 	rt := core.NewRuntime(clk, cfg)
 	commands.RegisterAll(rt)
 	return &System{Clock: clk, Runtime: rt, opts: opts}
@@ -190,6 +217,17 @@ func (c *Client) Run(command string, params map[string]string) (*RunResult, erro
 	return c.inner.Run(command, params)
 }
 
+// RunTimeout executes a command with a deadline: when d elapses first, the
+// request is cancelled server-side and the result carries ErrDeadline.
+func (c *Client) RunTimeout(command string, params map[string]string, d time.Duration) (*RunResult, error) {
+	return c.inner.RunTimeout(command, params, d)
+}
+
+// CollectTimeout waits at most d for a submitted command.
+func (c *Client) CollectTimeout(reqID uint64, d time.Duration) (*RunResult, error) {
+	return c.inner.CollectTimeout(reqID, d)
+}
+
 // Submit starts a command without waiting; Collect retrieves it.
 func (c *Client) Submit(command string, params map[string]string) (uint64, error) {
 	return c.inner.Submit(command, params)
@@ -220,6 +258,10 @@ func (c *Client) Stats(reqID uint64) (RequestStats, bool) {
 func (s *System) Stats(reqID uint64) (RequestStats, bool) {
 	return s.Runtime.Sched.Stats(reqID)
 }
+
+// Trace exposes the runtime's fault-tolerance event log: injections, worker
+// deaths, retries, degradations and swallowed send errors.
+func (s *System) Trace() []TraceEvent { return s.Runtime.Trace.Events() }
 
 // Params builds a parameter map from alternating key/value strings:
 // Params("dataset", "engine", "iso", "500").
