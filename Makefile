@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz check clean
+.PHONY: all build test race vet fuzz overload check clean
 
 all: check
 
@@ -11,9 +11,16 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the actor runtime, the fabric
-# and the virtual clock (plus the fault machinery that drives them).
+# and the virtual clock (plus the fault machinery, the DMS caches and the
+# storage device that they drive).
 race:
-	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/
+	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/
+
+# The seeded overload-resilience suite under the race detector: admission
+# control, session quotas, stream backpressure, slow-consumer culling, the
+# DMS memory budget and the pending-queue ring.
+overload:
+	$(GO) test -race -count=1 -run 'Overload|Admission|Quota|SlowConsumer|StreamWindow|MemBudget|Budget|MsgRing|Evict|Shed|Corrupt' ./internal/core/ ./internal/dms/ ./internal/storage/ ./internal/faults/
 
 vet:
 	$(GO) vet ./...

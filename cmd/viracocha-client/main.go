@@ -36,6 +36,7 @@ func main() {
 		script  = flag.String("session", "", "replay a recorded session script (JSON) instead of -cmd")
 		cancel  = flag.Duration("cancel-after", 0, "cancel the command after this duration (0 = never)")
 		retries = flag.Int("retries", 0, "dial/reconnect attempts on connection failure (0 = fail fast)")
+		olRetry = flag.Int("overload-retries", 3, "resubmissions after a server overloaded rejection, honoring its retry-after hint (0 = fail fast)")
 		ps      paramList
 	)
 	flag.Var(&ps, "p", "command parameter key=value (repeatable)")
@@ -62,6 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer rc.Close()
+	rc.OverloadRetries = *olRetry
 
 	start := time.Now()
 	first := time.Duration(0)

@@ -37,9 +37,14 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = default 250ms)")
 		failAfter = flag.Duration("fail-after", 0, "declare a silent worker dead after this (0 = default 2s)")
 		retries   = flag.Int("retries", -1, "per-request recovery retry budget (-1 = default 2)")
+		maxQueue  = flag.Int("max-queue", 256, "max queued requests before rejecting with overloaded (0 = unlimited)")
+		quota     = flag.Int("session-quota", 32, "max in-flight requests per client session (0 = unlimited)")
+		memBudget = flag.Int64("mem-budget", 0, "DMS byte budget across all cache tiers (0 = unlimited)")
+		window    = flag.Int("stream-window", 32, "unacked partial packets per stream before the producer parks (0 = no flow control)")
+		slowAfter = flag.Duration("slow-consumer-after", 5*time.Second, "cancel a request parked on stream credit this long (0 = park forever)")
 		faultSpec faultList
 	)
-	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N")
+	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR")
 	flag.Parse()
 
 	opts := viracocha.Options{
@@ -60,6 +65,13 @@ func main() {
 			ft.MaxRetries = *retries
 		}
 		opts.FT = &ft
+	}
+	opts.Overload = &viracocha.OverloadConfig{
+		MaxQueue:          *maxQueue,
+		SessionQuota:      *quota,
+		MemBudget:         *memBudget,
+		StreamWindow:      *window,
+		SlowConsumerAfter: *slowAfter,
 	}
 	if len(faultSpec) > 0 {
 		plan := &viracocha.FaultPlan{Seed: 1}

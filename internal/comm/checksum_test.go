@@ -1,0 +1,33 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFrameChecksumDetectsBitFlips: a single-byte mutation anywhere in an
+// encoded frame — header, body or the CRC trailer itself — must surface as
+// ErrChecksum rather than decode into a wrong message.
+func TestFrameChecksumDetectsBitFlips(t *testing.T) {
+	good := Encode(sampleMessage())
+	for off := 0; off < len(good); off++ {
+		bad := append([]byte{}, good...)
+		bad[off] ^= 0x01
+		if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrChecksum", off, err)
+		}
+	}
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+}
+
+// TestChecksumCoversPayload pins the trailer to CRC-32C over the whole
+// frame: truncating the payload by one byte (shifting the trailer) fails the
+// check instead of the length parse guessing wrong.
+func TestChecksumTruncationDetected(t *testing.T) {
+	good := Encode(sampleMessage())
+	if _, err := Decode(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

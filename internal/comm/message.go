@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
@@ -37,9 +38,9 @@ type Message struct {
 }
 
 // WireSize reports the encoded size of the message, used by transfer cost
-// models without forcing an encode.
+// models without forcing an encode. It includes the trailing CRC32-C.
 func (m *Message) WireSize() int64 {
-	n := 4 + 4 + len(m.Kind) + 4 + len(m.Command) + 8 + 4 + 1 + 4 + 4 + len(m.Payload)
+	n := 4 + 4 + len(m.Kind) + 4 + len(m.Command) + 8 + 4 + 1 + 4 + 4 + len(m.Payload) + 4
 	for k, v := range m.Params {
 		n += 8 + len(k) + len(v)
 	}
@@ -61,6 +62,13 @@ const frameMagic = 0x56524d47 // "VRMG"
 
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 1 << 30
+
+// castagnoli is the CRC32-C polynomial table used for frame integrity.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a frame whose trailing CRC32-C did not match its
+// contents: the frame was corrupted in flight or at rest.
+var ErrChecksum = errors.New("comm: frame checksum mismatch")
 
 // Encode serializes the message to the wire format.
 func Encode(m Message) []byte {
@@ -100,12 +108,23 @@ func Encode(m Message) []byte {
 	}
 	put32(uint32(len(m.Payload)))
 	buf = append(buf, m.Payload...)
+	put32(crc32.Checksum(buf, castagnoli))
 	return buf
 }
 
-// Decode parses the wire format produced by Encode.
+// Decode parses the wire format produced by Encode, first verifying the
+// trailing CRC32-C so corruption is detected before any field is trusted.
 func Decode(data []byte) (Message, error) {
 	var m Message
+	if len(data) < 8 {
+		return m, errors.New("comm: truncated message")
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return m, ErrChecksum
+	}
+	data = body
 	off := 0
 	get32 := func() (uint32, error) {
 		if off+4 > len(data) {

@@ -123,6 +123,12 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 	seen := map[packetKey]bool{}
 	handle := func(sm stamped) (done bool, err error) {
 		m := sm.msg
+		if m.Kind == "partial" {
+			// Consuming a partial — even a duplicate or one from a stale
+			// attempt — returns its stream credit to the producer. The
+			// fault plan can model a slow consumer here.
+			c.ackPartial(m)
+		}
 		att := m.IntParam("attempt", attempt)
 		if att < attempt {
 			if m.Kind == "partial" {
@@ -183,9 +189,15 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			})
 			return false, nil
 		case "error":
-			if m.Params["deadline"] == "1" {
+			switch {
+			case m.Params["deadline"] == "1":
 				res.Err = ErrDeadline
-			} else {
+			case m.Params["overloaded"] == "1":
+				res.Err = &OverloadedError{
+					Reason:     m.Params["error"],
+					RetryAfter: time.Duration(m.IntParam("retry_after_ms", 0)) * time.Millisecond,
+				}
+			default:
 				res.Err = fmt.Errorf("core: remote error: %s", m.Params["error"])
 			}
 			res.FinalAt = sm.at
@@ -230,6 +242,16 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			return res, res.Err
 		}
 	}
+}
+
+// ackPartial models the consumption of one streamed packet: it applies the
+// fault plan's slow-consumer delay for this endpoint (if any) and then
+// returns the packet's credit to the producer's flow-control window.
+func (c *Client) ackPartial(m comm.Message) {
+	if d := c.rt.faults.ConsumerDelay(c.ep.Name()); d > 0 {
+		c.rt.Clock.Sleep(d)
+	}
+	c.rt.flow.Ack(m.ReqID, m.IntParam("rank", 0))
 }
 
 // CollectTimeout is Collect with a deadline: when d elapses first, the

@@ -48,10 +48,11 @@ type Ctx struct {
 	// Cost prices work counts into charged time.
 	Cost CostModel
 
-	probes  Probes
-	seq     int
-	streams int
-	attempt int // recovery attempt this execution belongs to
+	probes   Probes
+	seq      int
+	streams  int
+	attempt  int // recovery attempt this execution belongs to
+	uncached int // demand loads served without a cache hit (degraded path)
 }
 
 // ErrCancelled is returned by commands that observed a client cancellation
@@ -82,21 +83,36 @@ func (c *Ctx) Charge(d time.Duration) {
 }
 
 // Load fetches a block through the DMS, accounting the elapsed time as read
-// time.
+// time. It is a cancellation point: a cancelled request stops loading rather
+// than pulling more data through a possibly budget-constrained DMS.
 func (c *Ctx) Load(id grid.BlockID) (*grid.Block, error) {
+	if c.Cancelled() {
+		return nil, ErrCancelled
+	}
+	before := c.worker.proxy.UncachedLoads()
 	start := c.rt.Clock.Now()
 	b, err := c.worker.proxy.Get(id)
 	c.probes.Read += c.rt.Clock.Now() - start
 	c.worker.checkCrashed()
+	c.uncached += int(c.worker.proxy.UncachedLoads() - before)
+	if err == nil && c.Cancelled() {
+		return nil, ErrCancelled
+	}
 	return b, err
 }
 
 // LoadCoarse fetches a block at a multi-resolution level through the DMS.
 func (c *Ctx) LoadCoarse(id grid.BlockID, level int) (*grid.Block, error) {
+	if c.Cancelled() {
+		return nil, ErrCancelled
+	}
 	start := c.rt.Clock.Now()
 	b, err := c.worker.proxy.GetCoarse(id, level)
 	c.probes.Read += c.rt.Clock.Now() - start
 	c.worker.checkCrashed()
+	if err == nil && c.Cancelled() {
+		return nil, ErrCancelled
+	}
 	return b, err
 }
 
@@ -104,6 +120,9 @@ func (c *Ctx) LoadCoarse(id grid.BlockID, level int) (*grid.Block, error) {
 // bypassing the DMS entirely — the data path of the paper's Simple*
 // baseline commands.
 func (c *Ctx) LoadRaw(id grid.BlockID) (*grid.Block, error) {
+	if c.Cancelled() {
+		return nil, ErrCancelled
+	}
 	dev := c.rt.AnyDevice()
 	if dev == nil {
 		return nil, fmt.Errorf("core: no storage device registered")
@@ -112,6 +131,9 @@ func (c *Ctx) LoadRaw(id grid.BlockID) (*grid.Block, error) {
 	b, _, err := dev.Load(id)
 	c.probes.Read += c.rt.Clock.Now() - start
 	c.worker.checkCrashed()
+	if err == nil && c.Cancelled() {
+		return nil, ErrCancelled
+	}
 	return b, err
 }
 
@@ -124,6 +146,26 @@ func (c *Ctx) Prefetch(id grid.BlockID) { c.worker.proxy.Prefetch(id) }
 // discard the duplicates a rank retry re-streams.
 func (c *Ctx) StreamPartial(m *mesh.Mesh) error {
 	c.worker.checkCrashed()
+	// Backpressure: take a stream credit before sending. A producer whose
+	// window is exhausted parks here until the client acks a packet; one
+	// that stays parked past the slow-consumer deadline cancels the whole
+	// request instead of buffering unboundedly.
+	window := c.IntParam("stream_window", c.rt.cfg.Overload.StreamWindow)
+	if window > 0 {
+		err := c.rt.flow.Acquire(c.Req.ReqID, c.Rank, window,
+			c.rt.cfg.Overload.SlowConsumerAfter, c.Cancelled)
+		c.worker.checkCrashed()
+		if errors.Is(err, ErrSlowConsumer) {
+			c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
+				"req %d rank %d: slow consumer: no stream credit within %v, cancelling",
+				c.Req.ReqID, c.Rank, c.rt.cfg.Overload.SlowConsumerAfter)
+			c.rt.markCancelled(c.Req.ReqID)
+			return err
+		}
+		if err != nil {
+			return err
+		}
+	}
 	c.seq++
 	c.streams++
 	msg := comm.Message{

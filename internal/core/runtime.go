@@ -74,6 +74,9 @@ type Config struct {
 	PrefetcherFor func(node string) prefetch.Prefetcher
 	// FT configures heartbeats, failure detection and retry policy.
 	FT FTConfig
+	// Overload configures admission control and streaming backpressure; the
+	// zero value disables both.
+	Overload OverloadConfig
 	// Faults optionally injects failures into the fabric, the workers and
 	// the storage read path (nil = fault-free system).
 	Faults *faults.Injector
@@ -108,6 +111,7 @@ type Runtime struct {
 
 	cfg    Config
 	faults *faults.Injector
+	flow   *flowControl
 
 	mu        sync.Mutex
 	registry  map[string]Command
@@ -133,6 +137,7 @@ func NewRuntime(c vclock.Clock, cfg Config) *Runtime {
 		Trace:     trace.NewLog(4096),
 		cfg:       cfg,
 		faults:    cfg.Faults,
+		flow:      newFlowControl(c),
 		registry:  map[string]Command{},
 		devices:   map[string]*storage.Device{},
 		dynamic:   map[uint64]*dynQueue{},
@@ -166,6 +171,9 @@ func (rt *Runtime) RegisterDevice(dev *storage.Device, bytesFor func(grid.BlockI
 	if rt.faults != nil && dev.ReadFault == nil {
 		dev.ReadFault = rt.faults.OnRead
 	}
+	if rt.faults != nil && dev.CorruptFault == nil {
+		dev.CorruptFault = rt.faults.OnCorrupt
+	}
 	rt.mu.Lock()
 	rt.devices[dev.Name] = dev
 	rt.mu.Unlock()
@@ -192,11 +200,20 @@ func (rt *Runtime) AnyDevice() *storage.Device {
 }
 
 // markCancelled flags a request; running commands observe it via
-// Ctx.Cancelled at their next poll point.
+// Ctx.Cancelled at their next poll point. Producers parked on stream credit
+// are woken so cancellation propagates through the backpressure path too.
 func (rt *Runtime) markCancelled(reqID uint64) {
 	rt.mu.Lock()
 	rt.cancelled[reqID] = true
 	rt.mu.Unlock()
+	rt.flow.wake(reqID)
+}
+
+// AckStream returns one stream credit for (reqID, rank): the consumer has
+// processed one partial packet. In-process clients ack automatically from
+// Collect; the TCP bridge calls it for "ack" frames from remote clients.
+func (rt *Runtime) AckStream(reqID uint64, rank int) {
+	rt.flow.Ack(reqID, rank)
 }
 
 // isCancelled reports whether the request was cancelled.

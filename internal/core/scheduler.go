@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +30,10 @@ type RequestStats struct {
 	// Degraded reports that the request ran with fewer workers than asked
 	// for because part of the pool was dead.
 	Degraded bool
+	// Uncached counts demand blocks the DMS served on the degraded uncached
+	// path: the memory budget was exhausted and eviction could not make
+	// room, so the block was handed to the command without being cached.
+	Uncached int
 }
 
 // TotalRuntime is the paper's "total runtime": dispatch to completion.
@@ -81,10 +86,14 @@ type Scheduler struct {
 	free       []string
 	lastSeen   map[string]time.Duration
 	idleStreak map[string]int
-	pending    []comm.Message
+	pending    msgRing
 	active     map[uint64]*activeReq
 	finished   map[uint64]RequestStats
 	redisQ     []redispatch
+	sessions   map[string]int // in-flight (queued + active) requests per session
+	svcSum     time.Duration  // summed service time of finished requests
+	svcCount   int64
+	overload   OverloadCounters
 	draining   bool
 	stopped    bool
 }
@@ -92,6 +101,7 @@ type Scheduler struct {
 type activeReq struct {
 	stats      RequestStats
 	req        comm.Message
+	sess       string
 	origWant   int
 	attempt    int
 	group      string
@@ -120,6 +130,7 @@ func newScheduler(rt *Runtime) *Scheduler {
 		idleStreak: map[string]int{},
 		active:     map[uint64]*activeReq{},
 		finished:   map[uint64]RequestStats{},
+		sessions:   map[string]int{},
 	}
 }
 
@@ -144,10 +155,15 @@ func (s *Scheduler) loop() {
 		}
 		switch m.Kind {
 		case "command":
-			s.mu.Lock()
-			s.pending = append(s.pending, m)
-			s.mu.Unlock()
+			if s.admit(m) {
+				s.pump()
+			}
+		case "disconnect":
+			s.dropSession(m.Params["session"])
 			s.pump()
+			if s.maybeFinish() {
+				return
+			}
 		case "wdone":
 			s.noteDone(m)
 			s.pump()
@@ -207,6 +223,130 @@ func (s *Scheduler) pump() {
 	}
 }
 
+// admit is the admission-control gate: a command is queued only while the
+// pending queue is under MaxQueue and the issuing session is under its
+// quota. A rejected command is answered immediately with a typed overload
+// error carrying the retry-after hint; it never reaches the queue, never
+// consumes a retry budget, and leaves no finished-request record. Recovery
+// redispatches re-enter through redisQ and deliberately bypass admission —
+// an admitted request's retries must not be starved by newer arrivals.
+func (s *Scheduler) admit(m comm.Message) bool {
+	ol := s.rt.cfg.Overload
+	sess := sessionOf(m)
+	s.mu.Lock()
+	reason := ""
+	switch {
+	case ol.MaxQueue > 0 && s.pending.len() >= ol.MaxQueue:
+		reason = fmt.Sprintf("queue full (%d queued, cap %d)", s.pending.len(), ol.MaxQueue)
+		s.overload.RejectedQueue++
+	case ol.SessionQuota > 0 && s.sessions[sess] >= ol.SessionQuota:
+		reason = fmt.Sprintf("session %s quota exhausted (%d in flight, quota %d)", sess, s.sessions[sess], ol.SessionQuota)
+		s.overload.RejectedQuota++
+	}
+	if reason == "" {
+		s.sessions[sess]++
+		s.pending.push(m)
+		s.mu.Unlock()
+		return true
+	}
+	ra := s.retryAfterLocked()
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+		"req %d rejected: overloaded: %s, retry after %v", m.ReqID, reason, ra)
+	to := m.Params["client"]
+	if to == "" {
+		to = "client"
+	}
+	rej := outMsg{to: to, msg: comm.Message{
+		Kind:    "error",
+		Command: m.Command,
+		ReqID:   m.ReqID,
+		Final:   true,
+		Params: map[string]string{
+			"error":          "core: overloaded: " + reason,
+			"overloaded":     "1",
+			"retry_after_ms": strconv.FormatInt(ra.Milliseconds(), 10),
+			"attempt":        "0",
+		},
+	}}
+	s.mu.Unlock()
+	s.send(rej)
+	return false
+}
+
+// retryAfterLocked derives the admission rejection's retry-after hint from
+// the observed service rate: the mean service time of finished requests,
+// scaled by the load currently ahead of a resubmission and divided across
+// the live pool. With no history yet it guesses 100ms.
+func (s *Scheduler) retryAfterLocked() time.Duration {
+	avg := 100 * time.Millisecond
+	if s.svcCount > 0 {
+		avg = time.Duration(int64(s.svcSum) / s.svcCount)
+	}
+	if avg < time.Millisecond {
+		avg = time.Millisecond
+	}
+	alive := s.aliveCountLocked()
+	if alive < 1 {
+		alive = 1
+	}
+	depth := s.pending.len() + len(s.active) + 1
+	ra := avg * time.Duration(depth) / time.Duration(alive)
+	if ra < time.Millisecond {
+		ra = time.Millisecond
+	}
+	if ra > 30*time.Second {
+		ra = 30 * time.Second
+	}
+	return ra
+}
+
+// releaseSessionLocked returns one in-flight slot to a session.
+func (s *Scheduler) releaseSessionLocked(sess string) {
+	if n := s.sessions[sess]; n > 1 {
+		s.sessions[sess] = n - 1
+	} else {
+		delete(s.sessions, sess)
+	}
+}
+
+// dropSession purges a disconnected session: its queued commands are
+// discarded (nobody is left to collect the replies), its running requests
+// are cancelled, and its quota slots for the purged queue entries are
+// released immediately. Slots held by running requests return when those
+// requests retire through finishLocked.
+func (s *Scheduler) dropSession(sess string) {
+	if sess == "" {
+		return
+	}
+	var cancel []uint64
+	s.mu.Lock()
+	dropped := s.pending.filter(func(m comm.Message) bool { return sessionOf(m) != sess })
+	for range dropped {
+		s.releaseSessionLocked(sess)
+	}
+	for id, ar := range s.active {
+		if ar.sess == sess {
+			cancel = append(cancel, id)
+		}
+	}
+	if len(dropped) > 0 || len(cancel) > 0 {
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+			"session %s disconnected: %d queued dropped, %d running cancelled", sess, len(dropped), len(cancel))
+	}
+	s.mu.Unlock()
+	sort.Slice(cancel, func(i, j int) bool { return cancel[i] < cancel[j] })
+	for _, id := range cancel {
+		s.rt.markCancelled(id)
+	}
+}
+
+// OverloadStats reports the admission-control counters.
+func (s *Scheduler) OverloadStats() OverloadCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overload
+}
+
 // send performs one decided send, logging failures. A "start" bouncing off a
 // dead endpoint is an immediate failure signal: the worker is declared dead
 // without waiting out the heartbeat window.
@@ -234,8 +374,8 @@ func (s *Scheduler) send(o outMsg) {
 // for more workers than are still alive is degraded to the survivors rather
 // than blocking the queue forever; with no survivors at all it fails cleanly.
 func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
-	for len(s.pending) > 0 {
-		req := s.pending[0]
+	for s.pending.len() > 0 {
+		req := s.pending.peek()
 		want := req.IntParam("workers", 1)
 		if want < 1 {
 			want = 1
@@ -245,7 +385,8 @@ func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
 		}
 		alive := s.aliveCountLocked()
 		if alive == 0 {
-			s.pending = s.pending[1:]
+			s.pending.pop()
+			s.releaseSessionLocked(sessionOf(req))
 			now := s.rt.Clock.Now()
 			s.finished[req.ReqID] = RequestStats{
 				ReqID:    req.ReqID,
@@ -279,7 +420,7 @@ func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
 		}
 		members := append([]string(nil), s.free[:want]...)
 		s.free = s.free[want:]
-		s.pending = s.pending[1:]
+		s.pending.pop()
 		ar := &activeReq{
 			stats: RequestStats{
 				ReqID:    req.ReqID,
@@ -290,6 +431,7 @@ func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
 				Degraded: degraded,
 			},
 			req:        req,
+			sess:       sessionOf(req),
 			origWant:   req.IntParam("workers", 1),
 			group:      strings.Join(members, ","),
 			members:    members,
@@ -370,6 +512,7 @@ func (s *Scheduler) noteDone(m comm.Message) {
 	ar.stats.Probes.Read += time.Duration(parseNanos(m.Params["read_ns"]))
 	ar.stats.Probes.Send += time.Duration(parseNanos(m.Params["send_ns"]))
 	ar.stats.Streams += m.IntParam("streams", 0)
+	ar.stats.Uncached += m.IntParam("uncached", 0)
 	if m.Params["error"] != "" {
 		ar.stats.Errors++
 	}
@@ -387,14 +530,21 @@ func parseNanos(v string) int64 {
 	return n
 }
 
-// finishLocked retires a request: records its end time and moves it to the
-// finished table.
+// finishLocked retires a request: records its end time, moves it to the
+// finished table, releases its session quota slot and stream-credit state,
+// and feeds the service-rate estimate behind retry-after hints.
 func (s *Scheduler) finishLocked(reqID uint64, ar *activeReq) {
 	ar.stats.End = s.rt.Clock.Now()
 	s.finished[reqID] = ar.stats
 	delete(s.active, reqID)
+	s.releaseSessionLocked(ar.sess)
+	if d := ar.stats.End - ar.stats.Started; d >= 0 {
+		s.svcSum += d
+		s.svcCount++
+	}
 	s.rt.dropWorkQueue(reqID)
 	s.rt.clearCancelled(reqID)
+	s.rt.flow.drop(reqID)
 }
 
 // noteHeartbeat refreshes the liveness record of the sending worker. A
@@ -733,7 +883,7 @@ func (s *Scheduler) stalledLocked(ar *activeReq) bool {
 // workers, closes the scheduler inbox and reports true.
 func (s *Scheduler) maybeFinish() bool {
 	s.mu.Lock()
-	idle := s.draining && len(s.active) == 0 && len(s.pending) == 0
+	idle := s.draining && len(s.active) == 0 && s.pending.len() == 0
 	if idle {
 		s.stopped = true
 	}

@@ -322,6 +322,7 @@ func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
 		"read_ns":    strconv.FormatInt(p.Read.Nanoseconds(), 10),
 		"send_ns":    strconv.FormatInt(p.Send.Nanoseconds(), 10),
 		"streams":    strconv.Itoa(ctx.streams),
+		"uncached":   strconv.Itoa(ctx.uncached),
 	}
 	if runErr != nil {
 		params["error"] = runErr.Error()

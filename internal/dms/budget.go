@@ -1,0 +1,110 @@
+package dms
+
+import "sync"
+
+// Budget is a byte budget shared across both cache tiers of every proxy on a
+// DMS server: the sum of resident cache bytes never exceeds the limit, no
+// matter how the individual tiers are sized. Caches reserve before inserting
+// and release as entries are evicted or removed; the prefetcher consults
+// Pressure to shed speculative loads before they compete with demand loads.
+//
+// A nil *Budget means "unlimited" and every method is safe to call on it, so
+// callers never need to branch.
+type Budget struct {
+	mu       sync.Mutex
+	limit    int64
+	used     int64
+	peak     int64
+	rejected int64
+	shed     int64
+}
+
+// NewBudget creates a budget of limit bytes; limit <= 0 returns nil
+// (unlimited).
+func NewBudget(limit int64) *Budget {
+	if limit <= 0 {
+		return nil
+	}
+	return &Budget{limit: limit}
+}
+
+// TryReserve claims n bytes, reporting false when the reservation would
+// exceed the limit. The caller then evicts and retries, or gives up and
+// serves the data uncached.
+func (b *Budget) TryReserve(n int64) bool {
+	if b == nil || n <= 0 {
+		return b == nil || n == 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.used+n > b.limit {
+		return false
+	}
+	b.used += n
+	if b.used > b.peak {
+		b.peak = b.used
+	}
+	return true
+}
+
+// Release returns n bytes to the budget.
+func (b *Budget) Release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.used -= n
+	if b.used < 0 {
+		b.used = 0
+	}
+	b.mu.Unlock()
+}
+
+// Pressure reports the fraction of the budget in use (0 when unlimited).
+func (b *Budget) Pressure() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return float64(b.used) / float64(b.limit)
+}
+
+// NoteShed counts one prefetch speculation shed under memory pressure.
+func (b *Budget) NoteShed() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.shed++
+	b.mu.Unlock()
+}
+
+// noteRejected counts one cache insert refused for lack of budget.
+func (b *Budget) noteRejected() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.rejected++
+	b.mu.Unlock()
+}
+
+// BudgetStats is a snapshot of the budget's accounting.
+type BudgetStats struct {
+	Limit    int64 // configured byte limit (0 = unlimited)
+	Used     int64 // bytes currently reserved
+	Peak     int64 // high-water mark of Used
+	Rejected int64 // cache inserts refused for lack of budget
+	Shed     int64 // prefetch speculations shed under pressure
+}
+
+// Stats snapshots the budget (zero value for a nil/unlimited budget).
+func (b *Budget) Stats() BudgetStats {
+	if b == nil {
+		return BudgetStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BudgetStats{Limit: b.limit, Used: b.used, Peak: b.peak, Rejected: b.rejected, Shed: b.shed}
+}

@@ -15,9 +15,10 @@ type CacheStats struct {
 	Puts          int64
 	Evictions     int64
 	BytesEvicted  int64
-	PrefetchPuts  int64 // items inserted by the prefetcher
-	PrefetchUsed  int64 // prefetched items later hit by a demand request
-	RejectedLarge int64 // items larger than the whole cache
+	PrefetchPuts   int64 // items inserted by the prefetcher
+	PrefetchUsed   int64 // prefetched items later hit by a demand request
+	RejectedLarge  int64 // items larger than the whole cache
+	RejectedBudget int64 // items refused because the memory budget was exhausted
 }
 
 // entry is one cached item.
@@ -41,6 +42,13 @@ type Evicted struct {
 type Cache struct {
 	name     string
 	capacity int64
+
+	// Budget, when non-nil, is a byte budget shared with other caches (the
+	// other tier, other proxies): every insert reserves against it and every
+	// eviction or removal releases. An insert that cannot reserve — even
+	// after evicting its own victims — is refused and the block served
+	// uncached.
+	Budget *Budget
 
 	mu     sync.Mutex
 	used   int64
@@ -90,6 +98,17 @@ func (c *Cache) Peek(id ItemID) (*grid.Block, bool) {
 // whole cache are rejected (returned in Evicted with ok=false semantics is
 // avoided; they are simply not cached and counted).
 func (c *Cache) Put(id ItemID, b *grid.Block, prefetched bool) []Evicted {
+	ev, _ := c.put(id, b, prefetched)
+	return ev
+}
+
+// PutOK is Put, additionally reporting whether the block actually resides in
+// the cache afterwards (false when rejected for size or memory budget).
+func (c *Cache) PutOK(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool) {
+	return c.put(id, b, prefetched)
+}
+
+func (c *Cache) put(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool) {
 	size := b.SizeBytes()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -100,11 +119,11 @@ func (c *Cache) Put(id ItemID, b *grid.Block, prefetched bool) []Evicted {
 		if !prefetched {
 			e.prefetched = false
 		}
-		return nil
+		return nil, true
 	}
 	if size > c.capacity {
 		c.stats.RejectedLarge++
-		return nil
+		return nil, false
 	}
 	var out []Evicted
 	for c.used+size > c.capacity {
@@ -112,13 +131,19 @@ func (c *Cache) Put(id ItemID, b *grid.Block, prefetched bool) []Evicted {
 		if !ok {
 			break
 		}
-		ve := c.items[vid]
-		c.policy.Remove(vid)
-		delete(c.items, vid)
-		c.used -= ve.size
-		c.stats.Evictions++
-		c.stats.BytesEvicted += ve.size
-		out = append(out, Evicted{ID: vid, Block: ve.block, Size: ve.size})
+		out = append(out, c.evictLocked(vid))
+	}
+	// Memory budget: reserve before inserting, evicting our own victims
+	// under pressure. When nothing is left to evict the insert is refused
+	// and the block is served uncached (degraded, but never over budget).
+	for !c.Budget.TryReserve(size) {
+		vid, ok := c.policy.Victim()
+		if !ok {
+			c.Budget.noteRejected()
+			c.stats.RejectedBudget++
+			return out, false
+		}
+		out = append(out, c.evictLocked(vid))
 	}
 	c.items[id] = &entry{id: id, block: b, size: size, prefetched: prefetched}
 	c.policy.Insert(id)
@@ -127,7 +152,20 @@ func (c *Cache) Put(id ItemID, b *grid.Block, prefetched bool) []Evicted {
 	if prefetched {
 		c.stats.PrefetchPuts++
 	}
-	return out
+	return out, true
+}
+
+// evictLocked removes the victim, releasing capacity and budget. Caller
+// holds c.mu.
+func (c *Cache) evictLocked(vid ItemID) Evicted {
+	ve := c.items[vid]
+	c.policy.Remove(vid)
+	delete(c.items, vid)
+	c.used -= ve.size
+	c.Budget.Release(ve.size)
+	c.stats.Evictions++
+	c.stats.BytesEvicted += ve.size
+	return Evicted{ID: vid, Block: ve.block, Size: ve.size}
 }
 
 // Remove drops an item if present.
@@ -138,6 +176,7 @@ func (c *Cache) Remove(id ItemID) {
 		c.policy.Remove(id)
 		delete(c.items, id)
 		c.used -= e.size
+		c.Budget.Release(e.size)
 	}
 }
 
@@ -148,6 +187,7 @@ func (c *Cache) Clear() {
 	for id := range c.items {
 		c.policy.Remove(id)
 	}
+	c.Budget.Release(c.used)
 	c.items = map[ItemID]*entry{}
 	c.used = 0
 }
@@ -208,14 +248,16 @@ func (t *Tiered) Get(id ItemID) (*grid.Block, bool) {
 }
 
 // Put inserts into the primary cache, spilling evictions to the secondary.
-func (t *Tiered) Put(id ItemID, b *grid.Block, prefetched bool) {
-	t.insertL1(id, b, prefetched)
+// It reports whether the block is resident in either tier afterwards (false
+// when the memory budget refused it).
+func (t *Tiered) Put(id ItemID, b *grid.Block, prefetched bool) bool {
+	return t.insertL1(id, b, prefetched)
 }
 
-func (t *Tiered) insertL1(id ItemID, b *grid.Block, prefetched bool) {
-	spilled := t.L1.Put(id, b, prefetched)
+func (t *Tiered) insertL1(id ItemID, b *grid.Block, prefetched bool) bool {
+	spilled, ok := t.L1.PutOK(id, b, prefetched)
 	if t.L2 == nil {
-		return
+		return ok
 	}
 	for _, ev := range spilled {
 		if t.SpillCost != nil {
@@ -223,7 +265,12 @@ func (t *Tiered) insertL1(id ItemID, b *grid.Block, prefetched bool) {
 		}
 		t.L2.Put(ev.ID, ev.Block, false)
 	}
+	return ok
 }
+
+// Budget returns the shared memory budget (nil = unlimited). Both tiers are
+// wired to the same budget, so the primary's is representative.
+func (t *Tiered) Budget() *Budget { return t.L1.Budget }
 
 // Peek checks both tiers without side effects.
 func (t *Tiered) Peek(id ItemID) (*grid.Block, bool) {

@@ -21,6 +21,8 @@ type ProxyStats struct {
 	PrefetchSkipped int64 // prefetches dropped because a peer is fetching
 	WaitedInflight  int64 // demand requests that overlapped an in-flight load
 	RemoteResolves  int64 // name resolutions that consulted the server
+	PrefetchShed    int64 // prefetches shed because the memory budget was under pressure
+	DemandUncached  int64 // demand loads whose block could not be cached (degraded path)
 }
 
 // Coordinator is the central fetch registry at the data-manager server:
@@ -53,6 +55,13 @@ type Proxy struct {
 	Coordinator Coordinator
 	// StatsUnit records the demand request stream (§4.2).
 	StatsUnit *StatsUnit
+	// Budget is the server-wide memory budget (nil = unlimited); the
+	// prefetcher consults it to shed speculation before demand loads feel
+	// the pressure.
+	Budget *Budget
+	// PrefetchShedAt is the budget pressure (fraction in use) above which
+	// speculative prefetches are shed; <= 0 means the 0.9 default.
+	PrefetchShedAt float64
 
 	mu       sync.Mutex
 	inflight map[ItemID]*vclock.Gate
@@ -122,13 +131,17 @@ func (p *Proxy) Get(id grid.BlockID) (*grid.Block, error) {
 			p.Coordinator.TryBeginFetch(item, p.Node) // demand always proceeds
 		}
 		b, _, err := p.Loader.Load(id)
+		cached := false
 		if err == nil {
-			p.Cache.Put(item, b, false)
+			cached = p.Cache.Put(item, b, false)
 		}
 		p.mu.Lock()
 		delete(p.inflight, item)
 		if err == nil {
 			p.stats.DemandLoads++
+			if !cached {
+				p.stats.DemandUncached++
+			}
 		}
 		p.mu.Unlock()
 		if p.Coordinator != nil {
@@ -157,6 +170,21 @@ func (p *Proxy) systemPrefetch(id grid.BlockID) {
 // system prefetcher and command code prefetches use it). It returns
 // immediately; a later Get overlaps with or waits on the load.
 func (p *Proxy) Prefetch(id grid.BlockID) {
+	// Load shedding: under memory pressure, speculation is the first thing
+	// to go — the budget's headroom is kept for demand loads.
+	if p.Budget != nil {
+		shedAt := p.PrefetchShedAt
+		if shedAt <= 0 {
+			shedAt = 0.9
+		}
+		if p.Budget.Pressure() >= shedAt {
+			p.mu.Lock()
+			p.stats.PrefetchShed++
+			p.mu.Unlock()
+			p.Budget.NoteShed()
+			return
+		}
+	}
 	item := p.resolve(BlockItem(id))
 	if _, ok := p.Cache.Peek(item); ok {
 		return
@@ -223,6 +251,15 @@ func (p *Proxy) Stats() ProxyStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// UncachedLoads reports how many demand loads could not be cached (budget
+// refusals): the degraded path. The core layer samples it around each Load
+// to attribute degradation to requests.
+func (p *Proxy) UncachedLoads() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats.DemandUncached
 }
 
 // DropCaches empties both cache tiers (cold-start experiments).

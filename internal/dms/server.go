@@ -33,6 +33,13 @@ type Config struct {
 	// DisablePeer turns the cooperative peer-transfer source off (used by
 	// the loading-strategy ablation).
 	DisablePeer bool
+	// MemBudget caps the total resident bytes across both cache tiers of
+	// every proxy (0 = unlimited). Under pressure caches evict; when nothing
+	// is left to evict blocks are served uncached rather than over budget.
+	MemBudget int64
+	// PrefetchShedAt is the MemBudget pressure above which proxies shed
+	// speculative prefetches; <= 0 means 0.9.
+	PrefetchShedAt float64
 }
 
 // DefaultConfig returns the configuration used by the experiments: 256 MB
@@ -48,6 +55,7 @@ func DefaultConfig() Config {
 		PeerLatency:        100 * time.Microsecond,
 		PeerBandwidth:      400e6,
 		LocalDiskBandwidth: 80e6,
+		PrefetchShedAt:     0.9,
 	}
 }
 
@@ -64,14 +72,18 @@ type Server struct {
 	sources  []loader.Source
 	proxies  []*Proxy
 	fetching map[ItemID]map[string]bool
+	budget   *Budget
 }
 
 // NewServer builds a data-manager server with the given base sources
 // (devices such as the local disk and the network file server).
 func NewServer(c vclock.Clock, cfg Config, sources ...loader.Source) *Server {
 	return &Server{Clock: c, Names: NewNameServer(), Config: cfg, sources: sources,
-		fetching: map[ItemID]map[string]bool{}}
+		fetching: map[ItemID]map[string]bool{}, budget: NewBudget(cfg.MemBudget)}
 }
+
+// Budget returns the server-wide memory budget (nil = unlimited).
+func (s *Server) Budget() *Budget { return s.budget }
 
 // AddSource registers an additional base source for proxies created later.
 func (s *Server) AddSource(src loader.Source) {
@@ -86,9 +98,11 @@ func (s *Server) AddSource(src loader.Source) {
 func (s *Server) NewProxy(node string, pf prefetch.Prefetcher) *Proxy {
 	cfg := s.Config
 	l1 := NewCache(node+"/L1", cfg.L1Bytes, NewPolicy(cfg.PolicyName))
+	l1.Budget = s.budget
 	var l2 *Cache
 	if cfg.L2Bytes > 0 {
 		l2 = NewCache(node+"/L2", cfg.L2Bytes, NewPolicy(cfg.PolicyName))
+		l2.Budget = s.budget
 	}
 	tiered := &Tiered{Clock: s.Clock, L1: l1, L2: l2}
 	if cfg.LocalDiskBandwidth > 0 {
@@ -107,6 +121,8 @@ func (s *Server) NewProxy(node string, pf prefetch.Prefetcher) *Proxy {
 	p := NewProxy(node, s.Clock, tiered, NewResolver(s.Names), sel, pf)
 	p.NameCost = cfg.NameCost
 	p.Coordinator = s
+	p.Budget = s.budget
+	p.PrefetchShedAt = cfg.PrefetchShedAt
 	if !cfg.DisablePeer {
 		sel.AddSource(s.peerSource(p))
 	}
@@ -239,6 +255,10 @@ func (s *Server) AggregateStats() (CacheStats, ProxyStats) {
 		cs.PrefetchPuts += l1.PrefetchPuts
 		cs.PrefetchUsed += l1.PrefetchUsed
 		cs.RejectedLarge += l1.RejectedLarge
+		cs.RejectedBudget += l1.RejectedBudget
+		if l2 := p.Cache.L2; l2 != nil {
+			cs.RejectedBudget += l2.Stats().RejectedBudget
+		}
 		st := p.Stats()
 		ps.DemandRequests += st.DemandRequests
 		ps.DemandLoads += st.DemandLoads
@@ -248,6 +268,8 @@ func (s *Server) AggregateStats() (CacheStats, ProxyStats) {
 		ps.PrefetchSkipped += st.PrefetchSkipped
 		ps.WaitedInflight += st.WaitedInflight
 		ps.RemoteResolves += st.RemoteResolves
+		ps.PrefetchShed += st.PrefetchShed
+		ps.DemandUncached += st.DemandUncached
 	}
 	return cs, ps
 }

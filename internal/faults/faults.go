@@ -64,6 +64,14 @@ type Plan struct {
 	// Reads are applied in order; the first matching rule with budget left
 	// fails the read.
 	Reads []ReadRule
+	// Corrupts are applied in order; the first matching rule with budget
+	// left marks the read's data as corrupted (the device's integrity check
+	// fails and it re-reads once).
+	Corrupts []ReadRule
+	// Consumers maps client endpoint names ("client1", or Any for all) to an
+	// extra per-packet processing delay: the slow-consumer scenario for the
+	// streaming backpressure path.
+	Consumers map[string]time.Duration
 }
 
 // CrashAt registers a worker crash and returns the plan for chaining.
@@ -75,6 +83,16 @@ func (p *Plan) CrashAt(node string, at time.Duration) *Plan {
 	return p
 }
 
+// SlowConsumer registers a per-packet consumption delay for a client
+// endpoint ("client1", or Any) and returns the plan for chaining.
+func (p *Plan) SlowConsumer(endpoint string, d time.Duration) *Plan {
+	if p.Consumers == nil {
+		p.Consumers = map[string]time.Duration{}
+	}
+	p.Consumers[endpoint] = d
+	return p
+}
+
 // ParseRule adds one textual fault rule to the plan (the -fault flag of
 // cmd/viracocha-server). Formats:
 //
@@ -83,8 +101,10 @@ func (p *Plan) CrashAt(node string, at time.Duration) *Plan {
 //	dup:FROM>TO:KIND:PROB    duplicate matching messages
 //	delay:FROM>TO:KIND:DUR   delay matching messages
 //	read:DATASET:STEP:BLOCK:N  fail N matching reads (N<0: all; STEP/BLOCK -1: any)
+//	corrupt:DATASET:STEP:BLOCK:N  corrupt N matching reads (device re-reads once)
+//	slow:ENDPOINT@DUR        delay ENDPOINT's packet consumption by DUR ("slow:client1@2s")
 //
-// FROM, TO, KIND and DATASET accept "*" as a wildcard.
+// FROM, TO, KIND, DATASET and ENDPOINT accept "*" as a wildcard.
 func (p *Plan) ParseRule(spec string) error {
 	kind, rest, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -138,10 +158,10 @@ func (p *Plan) ParseRule(spec string) error {
 			return fmt.Errorf("faults: rule %q: %w", spec, err)
 		}
 		p.Links = append(p.Links, LinkRule{From: from, To: to, Kind: fields[0], Delay: d})
-	case "read":
+	case "read", "corrupt":
 		fields := strings.Split(rest, ":")
 		if len(fields) != 4 {
-			return fmt.Errorf("faults: rule %q: read must be read:DATASET:STEP:BLOCK:N", spec)
+			return fmt.Errorf("faults: rule %q: %s must be %s:DATASET:STEP:BLOCK:N", spec, kind, kind)
 		}
 		step, err1 := strconv.Atoi(fields[1])
 		block, err2 := strconv.Atoi(fields[2])
@@ -149,7 +169,22 @@ func (p *Plan) ParseRule(spec string) error {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return fmt.Errorf("faults: rule %q: STEP, BLOCK and N must be integers", spec)
 		}
-		p.Reads = append(p.Reads, ReadRule{Dataset: fields[0], Step: step, Block: block, Fail: n})
+		r := ReadRule{Dataset: fields[0], Step: step, Block: block, Fail: n}
+		if kind == "read" {
+			p.Reads = append(p.Reads, r)
+		} else {
+			p.Corrupts = append(p.Corrupts, r)
+		}
+	case "slow":
+		ep, at, ok := strings.Cut(rest, "@")
+		if !ok {
+			return fmt.Errorf("faults: rule %q: slow must be slow:ENDPOINT@DUR", spec)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			return fmt.Errorf("faults: rule %q: %w", spec, err)
+		}
+		p.SlowConsumer(ep, d)
 	default:
 		return fmt.Errorf("faults: rule %q: unknown kind %q", spec, kind)
 	}
@@ -161,9 +196,10 @@ func (p *Plan) ParseRule(spec string) error {
 type Injector struct {
 	plan Plan
 
-	mu      sync.Mutex
-	linkSeq map[string]uint64 // per-link message counter
-	readHit []int             // per-read-rule consumed budget
+	mu         sync.Mutex
+	linkSeq    map[string]uint64 // per-link message counter
+	readHit    []int             // per-read-rule consumed budget
+	corruptHit []int             // per-corrupt-rule consumed budget
 }
 
 // New compiles a plan. A nil plan yields a nil injector, which callers treat
@@ -173,9 +209,10 @@ func New(p *Plan) *Injector {
 		return nil
 	}
 	return &Injector{
-		plan:    *p,
-		linkSeq: map[string]uint64{},
-		readHit: make([]int, len(p.Reads)),
+		plan:       *p,
+		linkSeq:    map[string]uint64{},
+		readHit:    make([]int, len(p.Reads)),
+		corruptHit: make([]int, len(p.Corrupts)),
 	}
 }
 
@@ -238,6 +275,39 @@ func (in *Injector) OnRead(id grid.BlockID) error {
 		return fmt.Errorf("faults: injected read error for %s step %d block %d", id.Dataset, id.Step, id.Block)
 	}
 	return nil
+}
+
+// OnCorrupt is the storage integrity hook: true marks the fetched data of id
+// as corrupted, making the device's checksum verification fail.
+func (in *Injector) OnCorrupt(id grid.BlockID) bool {
+	if in == nil || len(in.plan.Corrupts) == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.plan.Corrupts {
+		if !matchStr(r.Dataset, id.Dataset) || !matchInt(r.Step, id.Step) || !matchInt(r.Block, id.Block) {
+			continue
+		}
+		if r.Fail >= 0 && in.corruptHit[i] >= r.Fail {
+			continue
+		}
+		in.corruptHit[i]++
+		return true
+	}
+	return false
+}
+
+// ConsumerDelay reports the planned per-packet consumption delay for a
+// client endpoint (exact name first, then the Any wildcard).
+func (in *Injector) ConsumerDelay(endpoint string) time.Duration {
+	if in == nil || len(in.plan.Consumers) == 0 {
+		return 0
+	}
+	if d, ok := in.plan.Consumers[endpoint]; ok {
+		return d
+	}
+	return in.plan.Consumers[Any]
 }
 
 // roll returns a deterministic uniform value in [0,1) for decision slot

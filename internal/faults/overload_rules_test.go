@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"viracocha/internal/grid"
+)
+
+func TestParseCorruptRule(t *testing.T) {
+	p := &Plan{Seed: 1}
+	if err := p.ParseRule("corrupt:tiny:0:1:2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Corrupts) != 1 || len(p.Reads) != 0 {
+		t.Fatalf("plan = %+v, want one corrupt rule", p)
+	}
+	r := p.Corrupts[0]
+	if r.Dataset != "tiny" || r.Step != 0 || r.Block != 1 || r.Fail != 2 {
+		t.Fatalf("rule = %+v", r)
+	}
+	if err := p.ParseRule("corrupt:tiny:0:1"); err == nil {
+		t.Error("short corrupt spec accepted")
+	}
+	if err := p.ParseRule("corrupt:tiny:x:1:2"); err == nil {
+		t.Error("non-integer corrupt spec accepted")
+	}
+}
+
+func TestParseSlowConsumerRule(t *testing.T) {
+	p := &Plan{Seed: 1}
+	if err := p.ParseRule("slow:client1@2s"); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Consumers["client1"]; d != 2*time.Second {
+		t.Fatalf("consumer delay = %v, want 2s", d)
+	}
+	if err := p.ParseRule("slow:client1"); err == nil {
+		t.Error("slow spec without @DUR accepted")
+	}
+	if err := p.ParseRule("slow:client1@later"); err == nil {
+		t.Error("slow spec with a bad duration accepted")
+	}
+}
+
+func TestOnCorruptBurnsBudget(t *testing.T) {
+	p := &Plan{Seed: 1, Corrupts: []ReadRule{{Dataset: "tiny", Step: -1, Block: 3, Fail: 2}}}
+	in := New(p)
+	hit := grid.BlockID{Dataset: "tiny", Step: 5, Block: 3}
+	miss := grid.BlockID{Dataset: "tiny", Step: 0, Block: 0}
+	if in.OnCorrupt(miss) {
+		t.Fatal("non-matching read corrupted")
+	}
+	if !in.OnCorrupt(hit) || !in.OnCorrupt(hit) {
+		t.Fatal("matching reads not corrupted while budget lasts")
+	}
+	if in.OnCorrupt(hit) {
+		t.Fatal("rule fired past its budget")
+	}
+	// Fail < 0: corrupts every matching read, forever.
+	always := New(&Plan{Corrupts: []ReadRule{{Dataset: Any, Step: -1, Block: -1, Fail: -1}}})
+	for i := 0; i < 5; i++ {
+		if !always.OnCorrupt(hit) {
+			t.Fatal("unlimited rule burned out")
+		}
+	}
+	var nilInj *Injector
+	if nilInj.OnCorrupt(hit) {
+		t.Fatal("nil injector corrupted a read")
+	}
+}
+
+func TestConsumerDelayLookup(t *testing.T) {
+	in := New((&Plan{Seed: 1}).SlowConsumer("client2", time.Second))
+	if d := in.ConsumerDelay("client2"); d != time.Second {
+		t.Fatalf("exact match = %v, want 1s", d)
+	}
+	if d := in.ConsumerDelay("client1"); d != 0 {
+		t.Fatalf("unmatched endpoint = %v, want 0", d)
+	}
+	wild := New((&Plan{Seed: 1}).SlowConsumer(Any, time.Minute).SlowConsumer("client3", time.Second))
+	if d := wild.ConsumerDelay("client3"); d != time.Second {
+		t.Fatalf("exact match must win over the wildcard, got %v", d)
+	}
+	if d := wild.ConsumerDelay("client9"); d != time.Minute {
+		t.Fatalf("wildcard = %v, want 1m", d)
+	}
+	var nilInj *Injector
+	if nilInj.ConsumerDelay("client1") != 0 {
+		t.Fatal("nil injector delayed a consumer")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sort"
 
@@ -16,6 +17,15 @@ import (
 )
 
 const blockMagic = 0x5652424b // "VRBK"
+
+// blockCRCTable is the CRC32-C (Castagnoli) polynomial table protecting the
+// block format against bit rot and torn writes.
+var blockCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a block whose trailing CRC32-C did not match its
+// contents — the medium returned data, but not the data that was written.
+// Devices re-read once on it before failing the load.
+var ErrCorrupt = errors.New("storage: block checksum mismatch")
 
 // EncodeBlock serializes a block to the little-endian Viracocha block
 // format: magic, ID, dims, then coordinates, velocity and named scalars.
@@ -26,7 +36,7 @@ func EncodeBlock(b *grid.Block) []byte {
 	}
 	sort.Strings(names)
 
-	size := 4 + 4 + len(b.ID.Dataset) + 8 + 12 + 4
+	size := 4 + 4 + len(b.ID.Dataset) + 8 + 12 + 4 + 4
 	for _, n := range names {
 		size += 4 + len(n) + 4*b.NumNodes()
 	}
@@ -62,11 +72,23 @@ func EncodeBlock(b *grid.Block) []byte {
 		putStr(n)
 		putFloats(b.Scalars[n])
 	}
+	put32(crc32.Checksum(buf, blockCRCTable))
 	return buf
 }
 
-// DecodeBlock parses the format written by EncodeBlock.
+// DecodeBlock parses the format written by EncodeBlock, first verifying the
+// trailing CRC32-C so corruption surfaces as ErrCorrupt rather than as a
+// misparse.
 func DecodeBlock(data []byte) (*grid.Block, error) {
+	if len(data) < 8 {
+		return nil, errors.New("storage: truncated block")
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, blockCRCTable) != want {
+		return nil, ErrCorrupt
+	}
+	data = body
 	off := 0
 	get32 := func() (uint32, error) {
 		if off+4 > len(data) {

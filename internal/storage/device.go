@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -29,6 +31,10 @@ type Device struct {
 	// injection — see internal/faults). The failed request still costs its
 	// latency.
 	ReadFault func(grid.BlockID) error
+	// CorruptFault, when non-nil, marks a successful fetch as having
+	// returned corrupted data (fault injection): the device treats it like a
+	// failed block checksum and re-reads once before failing.
+	CorruptFault func(grid.BlockID) bool
 
 	sem   *vclock.Semaphore
 	mu    sync.Mutex
@@ -37,11 +43,13 @@ type Device struct {
 
 // DeviceStats accumulates observed device traffic.
 type DeviceStats struct {
-	Loads      int64
-	Errors     int64
-	Bytes      int64         // charged bytes
-	BusyTime   time.Duration // total time charged on the device
-	LastAccess time.Duration // clock time of the most recent completion
+	Loads        int64
+	Errors       int64
+	Bytes        int64         // charged bytes
+	BusyTime     time.Duration // total time charged on the device
+	LastAccess   time.Duration // clock time of the most recent completion
+	CorruptReads int64         // fetches whose integrity check failed
+	Rereads      int64         // recovery re-reads issued after a corrupt fetch
 }
 
 // NewDevice builds a device with the given channel count (minimum 1).
@@ -72,6 +80,47 @@ func (d *Device) LoadBackground(id grid.BlockID) (*grid.Block, int64, error) {
 	return d.load(id, true)
 }
 
+// fetch runs one integrity-checked backend fetch: the injected read fault,
+// the backend itself, then the injected corruption fault (real corruption
+// surfaces from the backend's DecodeBlock as ErrCorrupt already).
+func (d *Device) fetch(id grid.BlockID) (*grid.Block, int64, error) {
+	if d.ReadFault != nil {
+		if err := d.ReadFault(id); err != nil {
+			return nil, 0, err
+		}
+	}
+	b, size, err := d.Backend.Fetch(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if d.CorruptFault != nil && d.CorruptFault(id) {
+		return nil, 0, fmt.Errorf("%w (%s)", ErrCorrupt, id.String())
+	}
+	return b, size, nil
+}
+
+// fetchRetry is fetch with the corruption recovery policy: a corrupt read
+// costs the request latency (the wasted transfer), is counted, and re-read
+// exactly once; a second corrupt read fails the load.
+func (d *Device) fetchRetry(id grid.BlockID) (*grid.Block, int64, error) {
+	b, size, err := d.fetch(id)
+	if !errors.Is(err, ErrCorrupt) {
+		return b, size, err
+	}
+	d.Clock.Sleep(d.Latency)
+	d.mu.Lock()
+	d.stats.CorruptReads++
+	d.stats.Rereads++
+	d.mu.Unlock()
+	b, size, err = d.fetch(id)
+	if errors.Is(err, ErrCorrupt) {
+		d.mu.Lock()
+		d.stats.CorruptReads++
+		d.mu.Unlock()
+	}
+	return b, size, err
+}
+
 func (d *Device) load(id grid.BlockID, background bool) (*grid.Block, int64, error) {
 	if background {
 		d.sem.AcquireLow()
@@ -80,15 +129,7 @@ func (d *Device) load(id grid.BlockID, background bool) (*grid.Block, int64, err
 	}
 	defer d.sem.Release()
 	start := d.Clock.Now()
-	var b *grid.Block
-	var size int64
-	var err error
-	if d.ReadFault != nil {
-		err = d.ReadFault(id)
-	}
-	if err == nil {
-		b, size, err = d.Backend.Fetch(id)
-	}
+	b, size, err := d.fetchRetry(id)
 	if err != nil {
 		// A failed request still costs its latency (e.g. an NFS timeout).
 		d.Clock.Sleep(d.Latency)
@@ -128,15 +169,7 @@ func (d *Device) LoadRun(ids []grid.BlockID) ([]*grid.Block, int64, error) {
 	out := make([]*grid.Block, len(ids))
 	var total int64
 	for i, id := range ids {
-		var b *grid.Block
-		var size int64
-		var err error
-		if d.ReadFault != nil {
-			err = d.ReadFault(id)
-		}
-		if err == nil {
-			b, size, err = d.Backend.Fetch(id)
-		}
+		b, size, err := d.fetchRetry(id)
 		if err != nil {
 			d.mu.Lock()
 			d.stats.Errors++

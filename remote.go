@@ -1,12 +1,16 @@
 package viracocha
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"viracocha/internal/comm"
+	"viracocha/internal/core"
 	"viracocha/internal/mesh"
 	"viracocha/internal/vclock"
 )
@@ -62,21 +66,46 @@ func (s *System) Serve(ln net.Listener) error {
 			return err
 		}
 		conn := comm.NewConn(c)
+		// One admission-control session per connection: its quota slots are
+		// released and its requests purged when the connection dies.
+		sess := fmt.Sprintf("%s/s%d", bridge, s.Runtime.NextClientID())
 		go func() {
-			defer conn.Close()
 			byClient := map[uint64]uint64{} // this conn's reqID → runtime reqID
+			defer func() {
+				conn.Close()
+				mu.Lock()
+				for rid, r := range routes {
+					if r.conn == conn {
+						delete(routes, rid)
+					}
+				}
+				mu.Unlock()
+				// Purge the dead session: queued requests are dropped,
+				// running ones cancelled, quota slots released.
+				ep.Send("scheduler", comm.Message{
+					Kind:   "disconnect",
+					Params: map[string]string{"session": sess},
+				})
+			}()
 			for {
 				m, ok := conn.Recv()
 				if !ok {
 					return
 				}
-				if m.Kind == "cancel" {
+				switch m.Kind {
+				case "cancel":
 					if rid, ok := byClient[m.ReqID]; ok {
 						ep.Send("scheduler", comm.Message{Kind: "cancel", ReqID: rid})
 					}
 					continue
-				}
-				if m.Kind != "command" {
+				case "ack":
+					// Stream-credit return from the remote consumer.
+					if rid, ok := byClient[m.ReqID]; ok {
+						s.Runtime.AckStream(rid, m.IntParam("rank", 0))
+					}
+					continue
+				case "command":
+				default:
 					continue
 				}
 				rid := s.Runtime.NextReqID()
@@ -91,6 +120,7 @@ func (s *System) Serve(ln net.Listener) error {
 					fwd.Params[k] = v
 				}
 				fwd.Params["client"] = bridge
+				fwd.Params["session"] = sess
 				// The TCP reader is not a clock actor, but under the real
 				// clock Send only costs a (tiny) real sleep.
 				if err := ep.Send("scheduler", fwd); err != nil {
@@ -128,6 +158,15 @@ type RemoteClient struct {
 	// doubling per attempt up to ReconnectMaxBackoff. Defaults: 100ms / 5s.
 	ReconnectBackoff    time.Duration
 	ReconnectMaxBackoff time.Duration
+	// OverloadRetries is how many times Run resubmits a command the server
+	// rejected with ErrOverloaded, honoring the server's retry-after hint
+	// with jitter and doubling per attempt. 0 surfaces the rejection to the
+	// caller immediately.
+	OverloadRetries int
+
+	// jitter draws a uniform value in [0,n) for backoff jitter; tests
+	// replace it for determinism.
+	jitter func(n int64) int64
 }
 
 // Cancel aborts the in-flight request (safe to call from another goroutine,
@@ -222,7 +261,43 @@ func (rc *RemoteClient) Close() error { return rc.conn.Close() }
 // returned — the hook a renderer uses to display data early. Packets
 // re-streamed by a server-side failover are deduplicated, so the merged
 // result matches a fault-free run.
+//
+// A server-side admission rejection (ErrOverloaded) is retried up to
+// OverloadRetries times, sleeping the server's retry-after hint (doubled per
+// attempt, with jitter) between submissions.
 func (rc *RemoteClient) Run(command string, params map[string]string, onPartial func(seq int, m *Mesh)) (*Mesh, error) {
+	for try := 0; ; try++ {
+		m, err := rc.runOnce(command, params, onPartial)
+		var oe *core.OverloadedError
+		if err != nil && errors.As(err, &oe) && try < rc.OverloadRetries {
+			time.Sleep(rc.overloadBackoff(oe.RetryAfter, try))
+			continue
+		}
+		return m, err
+	}
+}
+
+// overloadBackoff turns the server's retry-after hint into the sleep before
+// resubmission try+1: the hint (or 100ms when absent) doubled per attempt,
+// capped at 5s, plus up to 50% jitter so a rejected burst does not resubmit
+// in lockstep.
+func (rc *RemoteClient) overloadBackoff(hint time.Duration, try int) time.Duration {
+	base := hint
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(try)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	j := rc.jitter
+	if j == nil {
+		j = rand.Int63n
+	}
+	return d + time.Duration(j(int64(d)/2+1))
+}
+
+func (rc *RemoteClient) runOnce(command string, params map[string]string, onPartial func(seq int, m *Mesh)) (*Mesh, error) {
 	rc.seq++
 	req := comm.Message{Kind: "command", Command: command, ReqID: rc.seq, Params: params}
 	if err := rc.conn.Send(req); err != nil {
@@ -263,6 +338,12 @@ func (rc *RemoteClient) Run(command string, params map[string]string, onPartial 
 		}
 		switch m.Kind {
 		case "partial":
+			// Return the stream credit before anything else: even discarded
+			// duplicates were consumed off the wire.
+			rc.conn.Send(comm.Message{
+				Kind: "ack", ReqID: rc.seq,
+				Params: map[string]string{"rank": strconv.Itoa(m.IntParam("rank", 0))},
+			})
 			key := packetKey{rank: m.IntParam("rank", 0), seq: m.Seq}
 			if seen[key] {
 				continue
@@ -284,6 +365,12 @@ func (rc *RemoteClient) Run(command string, params map[string]string, onPartial 
 			merged.Append(final)
 			return merged, nil
 		case "error":
+			if m.Params["overloaded"] == "1" {
+				return merged, &core.OverloadedError{
+					Reason:     m.Params["error"],
+					RetryAfter: time.Duration(m.IntParam("retry_after_ms", 0)) * time.Millisecond,
+				}
+			}
 			return merged, fmt.Errorf("viracocha: remote error: %s", m.Params["error"])
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"viracocha/internal/commands"
 	"viracocha/internal/core"
 	"viracocha/internal/dataset"
+	"viracocha/internal/dms"
 	"viracocha/internal/faults"
 	"viracocha/internal/grid"
 	"viracocha/internal/mesh"
@@ -40,6 +41,14 @@ type (
 	DatasetDesc = dataset.Desc
 	// FTConfig tunes heartbeats, failure detection and retry policy.
 	FTConfig = core.FTConfig
+	// OverloadConfig tunes admission control, streaming backpressure and the
+	// DMS memory budget.
+	OverloadConfig = core.OverloadConfig
+	// OverloadedError is a typed admission rejection carrying the server's
+	// retry-after hint.
+	OverloadedError = core.OverloadedError
+	// BudgetStats is a snapshot of the DMS memory budget's accounting.
+	BudgetStats = dms.BudgetStats
 	// FaultPlan is a seeded, deterministic fault-injection scenario.
 	FaultPlan = faults.Plan
 	// TraceEvent is one recorded fault-tolerance event.
@@ -49,10 +58,24 @@ type (
 // ErrDeadline is reported when a request deadline expired before completion.
 var ErrDeadline = core.ErrDeadline
 
+// ErrOverloaded marks admission-control rejections; errors.Is-match it after
+// a Run to distinguish "try again later" from a real failure.
+var ErrOverloaded = core.ErrOverloaded
+
+// ErrSlowConsumer marks requests cancelled because their client stopped
+// acknowledging streamed partials.
+var ErrSlowConsumer = core.ErrSlowConsumer
+
 // DefaultFTConfig returns the fault-tolerance defaults (250ms heartbeats, 2s
 // failure window, 2 retries with 100ms→5s backoff) for callers that want to
 // tweak a single knob via Options.FT.
 func DefaultFTConfig() FTConfig { return core.DefaultFTConfig() }
+
+// DefaultOverloadConfig returns the overload-protection defaults (256 queued
+// requests, 32 per session, a 32-packet stream window, 5s slow-consumer
+// deadline, unlimited memory) for callers that tweak one knob via
+// Options.Overload.
+func DefaultOverloadConfig() OverloadConfig { return core.DefaultOverloadConfig() }
 
 // Options configures a System.
 type Options struct {
@@ -74,6 +97,10 @@ type Options struct {
 	// FT overrides the fault-tolerance defaults (heartbeat interval,
 	// failure window, retry budget and backoff); nil keeps DefaultFTConfig.
 	FT *FTConfig
+	// Overload enables admission control, streaming backpressure and the
+	// DMS memory budget; nil keeps all of it disabled (the zero
+	// OverloadConfig).
+	Overload *OverloadConfig
 	// Faults injects a deterministic failure scenario — per-link message
 	// drop/duplication/delay, worker crashes at given virtual times,
 	// storage read errors. Nil means a fault-free system.
@@ -109,6 +136,10 @@ func New(opts Options) *System {
 	}
 	if opts.FT != nil {
 		cfg.FT = *opts.FT
+	}
+	if opts.Overload != nil {
+		cfg.Overload = *opts.Overload
+		cfg.DMS.MemBudget = opts.Overload.MemBudget
 	}
 	cfg.Faults = faults.New(opts.Faults)
 	rt := core.NewRuntime(clk, cfg)
@@ -262,6 +293,13 @@ func (s *System) Stats(reqID uint64) (RequestStats, bool) {
 // Trace exposes the runtime's fault-tolerance event log: injections, worker
 // deaths, retries, degradations and swallowed send errors.
 func (s *System) Trace() []TraceEvent { return s.Runtime.Trace.Events() }
+
+// DMSBudget snapshots the DMS memory budget's accounting (all zero when no
+// budget was configured).
+func (s *System) DMSBudget() BudgetStats { return s.Runtime.DMS.Budget().Stats() }
+
+// OverloadStats reports the scheduler's admission-control counters.
+func (s *System) OverloadStats() core.OverloadCounters { return s.Runtime.Sched.OverloadStats() }
 
 // Params builds a parameter map from alternating key/value strings:
 // Params("dataset", "engine", "iso", "500").
