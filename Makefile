@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz overload check clean
+.PHONY: all build test race vet fuzz overload bench benchcmp check clean
 
 all: check
 
@@ -11,10 +11,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the actor runtime, the fabric
-# and the virtual clock (plus the fault machinery, the DMS caches and the
-# storage device that they drive).
+# and the virtual clock (plus the fault machinery, the DMS caches, the
+# storage device, and the pooled kernel scratch in iso/mesh/vortex that
+# workers share through sync.Pool).
 race:
-	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/
+	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/ ./internal/iso/ ./internal/mesh/ ./internal/vortex/ ./internal/commands/
 
 # The seeded overload-resilience suite under the race detector: admission
 # control, session quotas, stream backpressure, slow-consumer culling, the
@@ -24,6 +25,20 @@ overload:
 
 vet:
 	$(GO) vet ./...
+
+# Kernel micro-benchmarks (real wall time, not virtual): the extraction,
+# mesh and codec hot paths. Writes the raw output to BENCH_3.txt and a JSON
+# digest to BENCH_3.json for the perf trajectory.
+KERNEL_BENCH ?= MarchingTetrahedra|ExtractRangeReuse|MeshWeld|MeshEncodeBinary|MeshAppend$$|ComputeNormals|Lambda2Field|BlockEncodeDecode
+bench:
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem -count=1 . | tee BENCH_3.txt
+	awk -f scripts/bench2json.awk BENCH_3.txt > BENCH_3.json
+
+# Before/after comparison of two saved bench outputs:
+#   make benchcmp OLD=BENCH_old.txt NEW=BENCH_3.txt
+benchcmp:
+	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make benchcmp OLD=old.txt NEW=new.txt"; exit 1; }
+	@awk -f scripts/benchcmp.awk $(OLD) $(NEW)
 
 # Short fuzz pass over the message codec (incl. fault-plan-mutated frames).
 fuzz:

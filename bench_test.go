@@ -144,6 +144,62 @@ func BenchmarkMeshWeld(b *testing.B) {
 	}
 }
 
+// BenchmarkExtractRangeReuse is the steady-state form of the extraction hot
+// path as the commands run it: pooled extractor scratch, a reused target
+// mesh, and a pooled λ2-style value array. This is the headline kernel
+// benchmark for the welded extraction work.
+func BenchmarkExtractRangeReuse(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 0)
+	vals := blk.Scalars["pressure"]
+	r := grid.CellRange{Hi: [3]int{blk.NI - 1, blk.NJ - 1, blk.NK - 1}}
+	var m mesh.Mesh
+	iso.ExtractRange(blk, vals, 500, r, &m) // warm pool and mesh capacity
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		iso.ExtractRange(blk, vals, 500, r, &m)
+	}
+	b.ReportMetric(float64(blk.NumCells()), "cells/op")
+}
+
+func BenchmarkMeshEncodeBinary(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 0)
+	var m mesh.Mesh
+	iso.ExtractBlock(blk, "pressure", 500, &m)
+	m.ComputeNormals()
+	buf := m.EncodeBinary()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.AppendBinary(buf[:0])
+	}
+}
+
+func BenchmarkMeshAppend(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 0)
+	var part mesh.Mesh
+	iso.ExtractBlock(blk, "pressure", 500, &part)
+	var dst mesh.Mesh
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Reset()
+		for p := 0; p < 4; p++ {
+			dst.Append(&part)
+		}
+	}
+}
+
+func BenchmarkComputeNormals(b *testing.B) {
+	blk := dataset.Engine().WithScale(2).Generate(0, 0)
+	var m mesh.Mesh
+	iso.ExtractBlock(blk, "pressure", 500, &m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ComputeNormals()
+	}
+	b.ReportMetric(float64(m.NumTriangles()), "tris/op")
+}
+
 func BenchmarkAblationCompression(b *testing.B) { benchExperiment(b, "ablation-compression") }
 func BenchmarkAblationCollective(b *testing.B)  { benchExperiment(b, "ablation-collective") }
 

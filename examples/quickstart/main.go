@@ -35,6 +35,8 @@ func main() {
 	})
 
 	m := result.Merged
+	// Each block arrives welded by construction; this pass only merges the
+	// duplicate vertices along block seams of the gathered result.
 	m.Weld(1e-7)
 	m.ComputeNormals()
 	fmt.Printf("isosurface: %d triangles, %d vertices, area %.4f m²\n",

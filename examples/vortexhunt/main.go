@@ -62,6 +62,8 @@ func main() {
 	// Render the accepted (last) attempt: the tip-vortex rings of the two
 	// counter-rotating stages.
 	final := attempts[len(attempts)-1].mesh
+	// Packets are welded by construction; welding the concatenation merges
+	// the duplicates along packet and block boundaries.
 	final.Weld(1e-6)
 	img := render.NewImage(900, 700)
 	box := final.Bounds()

@@ -113,7 +113,8 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		Z: ctx.FloatParam("ez", 0),
 	}
 	order := frontToBackOrder(ctx, step, eye)
-	pending := &mesh.Mesh{}
+	pending := mesh.Acquire()
+	var ex *iso.Extractor // rebound per block, invalidated on flush
 	flush := func(force bool) error {
 		if pending.NumTriangles() == 0 {
 			return nil
@@ -122,7 +123,12 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			return nil
 		}
 		err := ctx.StreamPartial(pending)
-		pending = &mesh.Mesh{}
+		// The packet is encoded; refill the same allocation and drop the
+		// vertex cache that indexed into it.
+		pending.Reset()
+		if ex != nil {
+			ex.Rebind(pending)
+		}
 		return err
 	}
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
@@ -147,9 +153,16 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		// the paper attributes to ViewerIso's streaming overhead.
 		tree := grid.BuildBSP(b, field)
 		ctx.Charge(ctx.Cost.BSPCost(b.NumCells()))
+		// One extractor across all BSP leaves of the block, so vertices on
+		// leaf boundaries weld too (until a flush restarts the packet).
+		if ex == nil {
+			ex = iso.NewExtractor(b, pending)
+		} else {
+			ex.Reset(b, pending)
+		}
 		var streamErr error
 		tree.VisitFrontToBack(eye, isoVal, func(r grid.CellRange) bool {
-			res := iso.ExtractRange(b, vals, isoVal, r, pending)
+			res := ex.Range(vals, isoVal, r)
 			ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
 			if err := flush(false); err != nil {
 				streamErr = err
@@ -161,7 +174,12 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			return nil, streamErr
 		}
 	}
-	if err := flush(true); err != nil {
+	err := flush(true)
+	if ex != nil {
+		ex.Close()
+	}
+	mesh.Release(pending)
+	if err != nil {
 		return nil, err
 	}
 	return nil, nil // everything streamed

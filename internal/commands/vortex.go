@@ -29,10 +29,11 @@ func (SimpleVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		if err != nil {
 			return nil, err
 		}
-		vals := make([]float32, b.NumNodes())
+		vals := vortex.AcquireField(b.NumNodes())
 		ctx.Charge(ctx.Cost.Lambda2Cost(vortex.ComputeInto(b, vals)))
 		r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
 		res := iso.ExtractRange(b, vals, thresh, r, out)
+		vortex.ReleaseField(vals)
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
 	}
 	return out, nil
@@ -66,10 +67,11 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		}
 		// λ2 is computed into a command-private array: the cache stores raw
 		// blocks shared across workers, so they must not be mutated.
-		vals := make([]float32, b.NumNodes())
+		vals := vortex.AcquireField(b.NumNodes())
 		ctx.Charge(ctx.Cost.Lambda2Cost(vortex.ComputeInto(b, vals)))
 		r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
 		res := iso.ExtractRange(b, vals, thresh, r, out)
+		vortex.ReleaseField(vals)
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
 		ctx.Progress(i+1, len(blocks))
 	}
@@ -104,39 +106,45 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			return nil, err
 		}
 		lazy := vortex.NewLazy(b)
+		part := mesh.Acquire()
+		ex := iso.NewExtractor(b, part)
 		computed := 0
 		visited := 0
-		var active [][3]int
+		activeInBatch := 0
+		batchTris := 0
 		// charge prices the work since the last charge: λ2 evaluations, the
 		// per-cell active tests, and any triangles just produced. Charging
 		// in batches keeps the virtual-clock bookkeeping off the hot loop.
-		charge := func(tris int) {
+		charge := func() {
 			ctx.Charge(ctx.Cost.LazyLambda2Cost(lazy.ComputedNodes() - computed))
 			computed = lazy.ComputedNodes()
-			ctx.Charge(ctx.Cost.IsoCost(visited, tris))
+			ctx.Charge(ctx.Cost.IsoCost(visited, batchTris))
 			visited = 0
 		}
 		emit := func() error {
-			part := &mesh.Mesh{}
-			tris := 0
-			for _, c := range active {
-				tris += iso.ExtractCell(b, lazy.Vals(), thresh, c[0], c[1], c[2], part)
-			}
-			charge(tris)
-			active = active[:0]
+			charge()
+			activeInBatch, batchTris = 0, 0
 			if part.NumTriangles() == 0 {
 				return nil
 			}
-			return ctx.StreamPartial(part)
+			err := ctx.StreamPartial(part)
+			// The packet is encoded; restart the same mesh for the next
+			// batch and drop the edge cache that pointed into it.
+			part.Reset()
+			ex.Rebind(part)
+			return err
 		}
 		for ck := 0; ck < b.NK-1; ck++ {
 			for cj := 0; cj < b.NJ-1; cj++ {
 				for ci := 0; ci < b.NI-1; ci++ {
 					lazy.EnsureCell(ci, cj, ck)
 					visited++
-					if iso.ActiveCell(b, lazy.Vals(), thresh, ci, cj, ck) {
-						active = append(active, [3]int{ci, cj, ck})
-						if len(active) >= batch {
+					// Fused test-and-extract, welded within the packet; an
+					// active cell always produces triangles.
+					if tris := ex.Cell(lazy.Vals(), thresh, ci, cj, ck); tris > 0 {
+						batchTris += tris
+						activeInBatch++
+						if activeInBatch >= batch {
 							if err := emit(); err != nil {
 								return nil, err
 							}
@@ -145,7 +153,11 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 				}
 			}
 		}
-		if err := emit(); err != nil {
+		err = emit()
+		ex.Close()
+		mesh.Release(part)
+		lazy.Release()
+		if err != nil {
 			return nil, err
 		}
 	}

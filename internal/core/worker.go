@@ -229,8 +229,9 @@ func (w *Worker) execute(start comm.Message) {
 // additionally suppresses the client send — the scheduler has already told
 // the client the request's fate and only wants the gather unwound.
 func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
-	merged := &mesh.Mesh{}
-	merged.Append(own)
+	// Rank 0's own partial is dead after this call, so it seeds the merge
+	// directly instead of being copied into a fresh mesh.
+	merged := own
 	var firstErr error
 	muted := false
 	if ownErr != nil {

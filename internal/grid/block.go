@@ -138,6 +138,25 @@ func (b *Block) Bounds() AABB {
 	return box
 }
 
+// CellOffsets returns the linear-index offsets of a cell's 8 corners
+// relative to corner 0, in the VTK hexahedron order used by the
+// triangulator. The offsets are identical for every cell of the block, so
+// scan loops hoist them out of the per-cell hot path and advance corner 0's
+// index incrementally instead of recomputing all eight corners per cell.
+func (b *Block) CellOffsets() [8]int {
+	nij := b.NI * b.NJ
+	return [8]int{
+		0,
+		1,
+		1 + b.NI,
+		b.NI,
+		nij,
+		1 + nij,
+		1 + b.NI + nij,
+		b.NI + nij,
+	}
+}
+
 // CellCorners returns the 8 node indices of cell (ci,cj,ck) in the VTK
 // hexahedron corner order used by the triangulator:
 //
@@ -145,16 +164,11 @@ func (b *Block) Bounds() AABB {
 //	4:(i,j,k+1) 5:(i+1,j,k+1) 6:(i+1,j+1,k+1) 7:(i,j+1,k+1)
 func (b *Block) CellCorners(ci, cj, ck int) [8]int {
 	i0 := b.Index(ci, cj, ck)
-	return [8]int{
-		i0,
-		i0 + 1,
-		i0 + 1 + b.NI,
-		i0 + b.NI,
-		i0 + b.NI*b.NJ,
-		i0 + 1 + b.NI*b.NJ,
-		i0 + 1 + b.NI + b.NI*b.NJ,
-		i0 + b.NI + b.NI*b.NJ,
+	off := b.CellOffsets()
+	for n := range off {
+		off[n] += i0
 	}
+	return off
 }
 
 // AABB is an axis-aligned bounding box.

@@ -558,3 +558,18 @@ func TestMinJacobianDetDetectsFoldedCells(t *testing.T) {
 		t.Fatalf("folded block not detected: MinJacobianDet %v", d)
 	}
 }
+
+func TestCellOffsetsMatchCellCorners(t *testing.T) {
+	b := NewBlock(BlockID{Dataset: "t"}, 5, 7, 3)
+	off := b.CellOffsets()
+	for _, c := range [][3]int{{0, 0, 0}, {3, 5, 1}, {1, 2, 0}} {
+		corners := b.CellCorners(c[0], c[1], c[2])
+		base := b.Index(c[0], c[1], c[2])
+		for n := 0; n < 8; n++ {
+			if base+off[n] != corners[n] {
+				t.Fatalf("cell %v corner %d: offset path %d, CellCorners %d",
+					c, n, base+off[n], corners[n])
+			}
+		}
+	}
+}

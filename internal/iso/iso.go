@@ -4,6 +4,12 @@
 // crack-free across cells because neighbouring cells agree on the shared
 // faces' diagonals. The package works on raw value arrays so the same code
 // triangulates stored fields (pressure) and lazily computed ones (λ2).
+//
+// The production kernel is the Extractor (extract.go): a fused scan that
+// reads each corner value once and welds vertices by construction through an
+// edge-indexed cache, so shared vertices are emitted exactly once per block.
+// ActiveCell and ExtractCell below are the straightforward per-cell
+// reference kernels; the equivalence tests check the Extractor against them.
 package iso
 
 import (
@@ -68,7 +74,10 @@ func ActiveCell(b *grid.Block, vals []float32, iso float64, ci, cj, ck int) bool
 }
 
 // ExtractCell triangulates the iso-surface fragment inside one cell,
-// appending to m, and returns the number of triangles added.
+// appending to m, and returns the number of triangles added. It is the
+// unwelded reference kernel: every triangle corner becomes a fresh vertex,
+// so a post-hoc Weld is needed to deduplicate — production code uses an
+// Extractor instead.
 func ExtractCell(b *grid.Block, vals []float32, iso float64, ci, cj, ck int, m *mesh.Mesh) int {
 	corners := b.CellCorners(ci, cj, ck)
 	var pos [8]mathx.Vec3
@@ -122,22 +131,14 @@ type Result struct {
 }
 
 // ExtractRange triangulates all active cells in the half-open cell range,
-// appending to m.
+// appending to m. The output is welded within the call: the pooled Extractor
+// deduplicates shared vertices across the whole range. Callers that extract
+// several ranges into one mesh and want cross-range welding too should hold
+// their own Extractor.
 func ExtractRange(b *grid.Block, vals []float32, iso float64, r grid.CellRange, m *mesh.Mesh) Result {
-	var res Result
-	for ck := r.Lo[2]; ck < r.Hi[2]; ck++ {
-		for cj := r.Lo[1]; cj < r.Hi[1]; cj++ {
-			for ci := r.Lo[0]; ci < r.Hi[0]; ci++ {
-				res.CellsVisited++
-				if !ActiveCell(b, vals, iso, ci, cj, ck) {
-					continue
-				}
-				res.ActiveCells++
-				res.Triangles += ExtractCell(b, vals, iso, ci, cj, ck, m)
-			}
-		}
-	}
-	return res
+	e := NewExtractor(b, m)
+	defer e.Close()
+	return e.Range(vals, iso, r)
 }
 
 // ExtractBlock triangulates a whole block for the named scalar field.

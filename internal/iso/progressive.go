@@ -64,15 +64,19 @@ func (p *ProgressiveBlock) ExtractLevel(level int) (*mesh.Mesh, ProgressiveStats
 	}
 	stride := 1 << uint(level)
 	m := &mesh.Mesh{}
+	ex := NewExtractor(work, m)
+	defer ex.Close()
 	st := ProgressiveStats{Level: level}
 	var active [][3]int
 	visit := func(ci, cj, ck int) {
 		st.CellsVisited++
-		if !ActiveCell(work, vals, p.iso, ci, cj, ck) {
+		// Fused test-and-extract: an active cell always yields triangles.
+		tris := ex.Cell(vals, p.iso, ci, cj, ck)
+		if tris == 0 {
 			return
 		}
 		active = append(active, [3]int{ci, cj, ck})
-		st.Triangles += ExtractCell(work, vals, p.iso, ci, cj, ck, m)
+		st.Triangles += tris
 	}
 	if !p.started {
 		for ck := 0; ck < work.NK-1; ck++ {

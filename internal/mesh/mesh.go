@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"viracocha/internal/grid"
 	"viracocha/internal/mathx"
@@ -27,6 +28,33 @@ type Mesh struct {
 
 // NumVertices reports the vertex count.
 func (m *Mesh) NumVertices() int { return len(m.Positions) / 3 }
+
+// Reset truncates the mesh to empty while keeping the backing arrays, so a
+// streaming producer can refill the same allocation packet after packet.
+func (m *Mesh) Reset() {
+	m.Positions = m.Positions[:0]
+	m.Normals = m.Normals[:0]
+	m.Values = m.Values[:0]
+	m.Indices = m.Indices[:0]
+}
+
+// meshPool recycles transient per-packet meshes used by the streaming
+// commands; the backing arrays stay warm across packets and requests.
+var meshPool = sync.Pool{New: func() any { return new(Mesh) }}
+
+// Acquire returns an empty mesh from the pool. Pair with Release once the
+// mesh's contents have been encoded or copied out.
+func Acquire() *Mesh { return meshPool.Get().(*Mesh) }
+
+// Release resets m and returns it to the pool. The caller must not retain
+// any reference to m or its slices afterwards.
+func Release(m *Mesh) {
+	if m == nil {
+		return
+	}
+	m.Reset()
+	meshPool.Put(m)
+}
 
 // NumTriangles reports the triangle count.
 func (m *Mesh) NumTriangles() int { return len(m.Indices) / 3 }
@@ -63,8 +91,8 @@ func (m *Mesh) Append(other *Mesh) {
 	m.Positions = append(m.Positions, other.Positions...)
 	switch {
 	case !hadVerts:
-		m.Normals = append([]float32(nil), other.Normals...)
-		m.Values = append([]float32(nil), other.Values...)
+		m.Normals = append(m.Normals[:0], other.Normals...)
+		m.Values = append(m.Values[:0], other.Values...)
 	default:
 		if len(m.Normals) > 0 && len(other.Normals) > 0 {
 			m.Normals = append(m.Normals, other.Normals...)
@@ -77,8 +105,14 @@ func (m *Mesh) Append(other *Mesh) {
 			m.Values = nil
 		}
 	}
-	for _, ix := range other.Indices {
-		m.Indices = append(m.Indices, base+ix)
+	// Single grow, then offset in place — no per-element append.
+	at := len(m.Indices)
+	m.Indices = append(m.Indices, other.Indices...)
+	if base != 0 {
+		moved := m.Indices[at:]
+		for i := range moved {
+			moved[i] += base
+		}
 	}
 }
 
@@ -99,70 +133,118 @@ func (m *Mesh) Bounds() grid.AABB {
 // triangle normals (area weighting falls out of the unnormalized cross
 // products).
 func (m *Mesh) ComputeNormals() {
-	n := make([]mathx.Vec3, m.NumVertices())
+	nf := 3 * m.NumVertices()
+	if cap(m.Normals) >= nf {
+		m.Normals = m.Normals[:nf]
+		clear(m.Normals)
+	} else {
+		m.Normals = make([]float32, nf)
+	}
+	nrm, pos := m.Normals, m.Positions
 	for t := 0; t < len(m.Indices); t += 3 {
-		a, b, c := m.Indices[t], m.Indices[t+1], m.Indices[t+2]
-		pa, pb, pc := m.Vertex(int(a)), m.Vertex(int(b)), m.Vertex(int(c))
-		fn := pb.Sub(pa).Cross(pc.Sub(pa))
-		n[a] = n[a].Add(fn)
-		n[b] = n[b].Add(fn)
-		n[c] = n[c].Add(fn)
+		a, b, c := 3*m.Indices[t], 3*m.Indices[t+1], 3*m.Indices[t+2]
+		ax, ay, az := float64(pos[a]), float64(pos[a+1]), float64(pos[a+2])
+		ux, uy, uz := float64(pos[b])-ax, float64(pos[b+1])-ay, float64(pos[b+2])-az
+		vx, vy, vz := float64(pos[c])-ax, float64(pos[c+1])-ay, float64(pos[c+2])-az
+		fx := float32(uy*vz - uz*vy)
+		fy := float32(uz*vx - ux*vz)
+		fz := float32(ux*vy - uy*vx)
+		nrm[a], nrm[a+1], nrm[a+2] = nrm[a]+fx, nrm[a+1]+fy, nrm[a+2]+fz
+		nrm[b], nrm[b+1], nrm[b+2] = nrm[b]+fx, nrm[b+1]+fy, nrm[b+2]+fz
+		nrm[c], nrm[c+1], nrm[c+2] = nrm[c]+fx, nrm[c+1]+fy, nrm[c+2]+fz
 	}
-	m.Normals = make([]float32, 3*len(n))
-	for i, v := range n {
-		u := v.Normalize()
-		m.Normals[3*i] = float32(u.X)
-		m.Normals[3*i+1] = float32(u.Y)
-		m.Normals[3*i+2] = float32(u.Z)
+	for i := 0; i < len(nrm); i += 3 {
+		x, y, z := float64(nrm[i]), float64(nrm[i+1]), float64(nrm[i+2])
+		if d := math.Sqrt(x*x + y*y + z*z); d > 0 {
+			inv := 1 / d
+			nrm[i] = float32(x * inv)
+			nrm[i+1] = float32(y * inv)
+			nrm[i+2] = float32(z * inv)
+		}
 	}
+}
+
+// weldKey is a vertex position quantized to the weld tolerance.
+type weldKey [3]int64
+
+// WeldBuffer holds the reusable scratch of WeldInto — the quantized-position
+// map and the remap table — so iterative callers (Decimate, client-side LOD
+// loops) stop reallocating them on every pass.
+type WeldBuffer struct {
+	seen  map[weldKey]uint32
+	remap []uint32
 }
 
 // Weld merges vertices whose positions coincide after quantization to tol
 // and drops degenerate triangles. It returns the number of vertices removed.
 // Normals and Values of merged vertices keep the first occurrence.
-func (m *Mesh) Weld(tol float64) int {
+func (m *Mesh) Weld(tol float64) int { return m.WeldInto(tol, nil) }
+
+// WeldInto is Weld with caller-provided scratch: wb's map and remap slice
+// are reused across calls (nil behaves like Weld). The survivors are
+// compacted in place — remapped vertex i never moves forward, so no new
+// position/normal/value/index arrays are allocated.
+func (m *Mesh) WeldInto(tol float64, wb *WeldBuffer) int {
 	if tol <= 0 {
 		tol = 1e-9
 	}
-	type key [3]int64
-	quant := func(i int) key {
-		return key{
+	nv := m.NumVertices()
+	var local WeldBuffer
+	if wb == nil {
+		wb = &local
+	}
+	if wb.seen == nil {
+		wb.seen = make(map[weldKey]uint32, nv)
+	} else {
+		clear(wb.seen)
+	}
+	if cap(wb.remap) < nv {
+		wb.remap = make([]uint32, nv)
+	}
+	remap := wb.remap[:nv]
+	hasN, hasV := len(m.Normals) > 0, len(m.Values) > 0
+	next := uint32(0)
+	for i := 0; i < nv; i++ {
+		k := weldKey{
 			int64(math.Round(float64(m.Positions[3*i]) / tol)),
 			int64(math.Round(float64(m.Positions[3*i+1]) / tol)),
 			int64(math.Round(float64(m.Positions[3*i+2]) / tol)),
 		}
-	}
-	seen := make(map[key]uint32, m.NumVertices())
-	remap := make([]uint32, m.NumVertices())
-	var pos, nrm, val []float32
-	next := uint32(0)
-	for i := 0; i < m.NumVertices(); i++ {
-		k := quant(i)
-		if j, ok := seen[k]; ok {
+		if j, ok := wb.seen[k]; ok {
 			remap[i] = j
 			continue
 		}
-		seen[k] = next
+		wb.seen[k] = next
 		remap[i] = next
-		pos = append(pos, m.Positions[3*i:3*i+3]...)
-		if len(m.Normals) > 0 {
-			nrm = append(nrm, m.Normals[3*i:3*i+3]...)
-		}
-		if len(m.Values) > 0 {
-			val = append(val, m.Values[i])
+		if int(next) != i {
+			copy(m.Positions[3*next:3*next+3], m.Positions[3*i:3*i+3])
+			if hasN {
+				copy(m.Normals[3*next:3*next+3], m.Normals[3*i:3*i+3])
+			}
+			if hasV {
+				m.Values[next] = m.Values[i]
+			}
 		}
 		next++
 	}
-	removed := m.NumVertices() - int(next)
-	var idx []uint32
-	for t := 0; t < len(m.Indices); t += 3 {
+	removed := nv - int(next)
+	m.Positions = m.Positions[:3*next]
+	if hasN {
+		m.Normals = m.Normals[:3*next]
+	}
+	if hasV {
+		m.Values = m.Values[:next]
+	}
+	w := 0
+	for t := 0; t+2 < len(m.Indices); t += 3 {
 		a, b, c := remap[m.Indices[t]], remap[m.Indices[t+1]], remap[m.Indices[t+2]]
 		if a == b || b == c || a == c {
 			continue // degenerate after weld
 		}
-		idx = append(idx, a, b, c)
+		m.Indices[w], m.Indices[w+1], m.Indices[w+2] = a, b, c
+		w += 3
 	}
-	m.Positions, m.Normals, m.Values, m.Indices = pos, nrm, val, idx
+	m.Indices = m.Indices[:w]
 	return removed
 }
 
@@ -182,8 +264,14 @@ const wireMagic = 0x56524d48 // "VRMH"
 
 // EncodeBinary serializes the mesh in the little-endian wire format used for
 // streaming: magic, counts, then positions, flags-gated normals/values, and
-// indices.
-func (m *Mesh) EncodeBinary() []byte {
+// indices. The buffer is allocated at its exact final size and filled with
+// offset-indexed writes — one allocation, no incremental growth.
+func (m *Mesh) EncodeBinary() []byte { return m.AppendBinary(nil) }
+
+// AppendBinary appends the wire encoding to dst (growing it at most once)
+// and returns the extended slice, so a streaming sender with a retained
+// buffer encodes without allocating at all.
+func (m *Mesh) AppendBinary(dst []byte) []byte {
 	flags := uint32(0)
 	if len(m.Normals) > 0 {
 		flags |= 1
@@ -191,29 +279,33 @@ func (m *Mesh) EncodeBinary() []byte {
 	if len(m.Values) > 0 {
 		flags |= 2
 	}
-	size := 16 + 4*len(m.Positions) + 4*len(m.Normals) + 4*len(m.Values) + 4*len(m.Indices)
-	buf := make([]byte, 0, size)
-	var scratch [4]byte
-	put32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(scratch[:], v)
-		buf = append(buf, scratch[:]...)
+	size := int(m.SizeBytes())
+	at := len(dst)
+	if cap(dst)-at < size {
+		grown := make([]byte, at+size)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:at+size]
 	}
-	put32(wireMagic)
-	put32(uint32(m.NumVertices()))
-	put32(uint32(len(m.Indices)))
-	put32(flags)
-	putFloats := func(fs []float32) {
+	buf := dst[at:]
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], wireMagic)
+	le.PutUint32(buf[4:], uint32(m.NumVertices()))
+	le.PutUint32(buf[8:], uint32(len(m.Indices)))
+	le.PutUint32(buf[12:], flags)
+	off := 16
+	for _, fs := range [3][]float32{m.Positions, m.Normals, m.Values} {
 		for _, f := range fs {
-			put32(math.Float32bits(f))
+			le.PutUint32(buf[off:], math.Float32bits(f))
+			off += 4
 		}
 	}
-	putFloats(m.Positions)
-	putFloats(m.Normals)
-	putFloats(m.Values)
 	for _, ix := range m.Indices {
-		put32(ix)
+		le.PutUint32(buf[off:], ix)
+		off += 4
 	}
-	return buf
+	return dst
 }
 
 // DecodeBinary parses the wire format produced by EncodeBinary.
@@ -238,6 +330,7 @@ func DecodeBinary(data []byte) (*Mesh, error) {
 	if len(data) != need {
 		return nil, fmt.Errorf("mesh: size %d, want %d", len(data), need)
 	}
+	le := binary.LittleEndian
 	off := 16
 	readFloats := func(n int) []float32 {
 		if n == 0 {
@@ -245,7 +338,7 @@ func DecodeBinary(data []byte) (*Mesh, error) {
 		}
 		out := make([]float32, n)
 		for i := range out {
-			out[i] = math.Float32frombits(get32(off))
+			out[i] = math.Float32frombits(le.Uint32(data[off:]))
 			off += 4
 		}
 		return out
@@ -261,13 +354,12 @@ func DecodeBinary(data []byte) (*Mesh, error) {
 	if ni > 0 {
 		m.Indices = make([]uint32, ni)
 		for i := range m.Indices {
-			m.Indices[i] = get32(off)
+			ix := le.Uint32(data[off:])
 			off += 4
-		}
-	}
-	for _, ix := range m.Indices {
-		if int(ix) >= nv {
-			return nil, fmt.Errorf("mesh: index %d out of range (%d vertices)", ix, nv)
+			if int(ix) >= nv {
+				return nil, fmt.Errorf("mesh: index %d out of range (%d vertices)", ix, nv)
+			}
+			m.Indices[i] = ix
 		}
 	}
 	return m, nil
@@ -293,8 +385,9 @@ func (m *Mesh) Decimate(target int) int {
 	if cell <= 0 {
 		cell = 1e-9
 	}
+	var wb WeldBuffer // one map + remap for all iterations
 	for iter := 0; iter < 24 && m.NumTriangles() > target; iter++ {
-		m.Weld(cell)
+		m.WeldInto(cell, &wb)
 		cell *= 2
 	}
 	return m.NumTriangles()

@@ -292,3 +292,122 @@ func TestDecimateNoopWhenUnderBudget(t *testing.T) {
 		t.Fatalf("Decimate(0) should be a no-op: %d", got)
 	}
 }
+
+// soup returns a triangle-soup mesh with many duplicated vertices (each
+// lattice quad emits its own four corners).
+func soup(n int) *Mesh {
+	m := &Mesh{}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			x0, y0 := float64(i)/float64(n), float64(j)/float64(n)
+			x1, y1 := float64(i+1)/float64(n), float64(j+1)/float64(n)
+			a := m.AddVertex(mathx.Vec3{X: x0, Y: y0})
+			b := m.AddVertex(mathx.Vec3{X: x1, Y: y0})
+			c := m.AddVertex(mathx.Vec3{X: x1, Y: y1})
+			d := m.AddVertex(mathx.Vec3{X: x0, Y: y1})
+			m.AddTriangle(a, b, c)
+			m.AddTriangle(a, c, d)
+		}
+	}
+	return m
+}
+
+func TestWeldIntoMatchesWeld(t *testing.T) {
+	a, b := soup(8), soup(8)
+	var wb WeldBuffer
+	ra := a.Weld(1e-9)
+	rb := b.WeldInto(1e-9, &wb)
+	if ra != rb {
+		t.Fatalf("WeldInto removed %d, Weld removed %d", rb, ra)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumTriangles() != b.NumTriangles() {
+		t.Fatalf("WeldInto result differs: %d/%d vs %d/%d",
+			b.NumVertices(), b.NumTriangles(), a.NumVertices(), a.NumTriangles())
+	}
+	// The buffer is reusable: welding an already-welded mesh with the warm
+	// scratch removes nothing and allocates nothing.
+	allocs := testing.AllocsPerRun(10, func() {
+		if b.WeldInto(1e-9, &wb) != 0 {
+			t.Fatal("second weld removed vertices")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm WeldInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestEncodeBinaryAllocs(t *testing.T) {
+	m := soup(8)
+	m.ComputeNormals()
+	if allocs := testing.AllocsPerRun(10, func() { m.EncodeBinary() }); allocs != 1 {
+		t.Fatalf("EncodeBinary allocates %v times per run, want exactly 1", allocs)
+	}
+}
+
+func TestAppendBinaryReusesBuffer(t *testing.T) {
+	m := soup(8)
+	m.ComputeNormals()
+	want := m.EncodeBinary()
+	buf := make([]byte, 0, m.SizeBytes())
+	got := m.AppendBinary(buf)
+	if !bytes.Equal(got, want) {
+		t.Fatal("AppendBinary output differs from EncodeBinary")
+	}
+	allocs := testing.AllocsPerRun(10, func() { m.AppendBinary(buf[:0]) })
+	if allocs != 0 {
+		t.Fatalf("AppendBinary into a fitting buffer allocates %v times per run, want 0", allocs)
+	}
+	// Appending after a prefix keeps the prefix intact.
+	pre := append([]byte("hdr:"), m.AppendBinary(nil)...)
+	if string(pre[:4]) != "hdr:" || !bytes.Equal(pre[4:], want) {
+		t.Fatal("AppendBinary clobbered the prefix")
+	}
+}
+
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	a, b := soup(6), soup(6)
+	a.ComputeNormals()
+	b.ComputeNormals()
+	var dst Mesh
+	dst.Append(a)
+	dst.Append(b) // establish capacity for two parts
+	allocs := testing.AllocsPerRun(10, func() {
+		dst.Reset()
+		dst.Append(a)
+		dst.Append(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Append allocates %v times per run, want 0", allocs)
+	}
+	if dst.NumVertices() != a.NumVertices()+b.NumVertices() {
+		t.Fatalf("append dropped vertices: %d", dst.NumVertices())
+	}
+}
+
+func TestResetKeepsCapacity(t *testing.T) {
+	m := soup(6)
+	m.ComputeNormals()
+	cp, ci := cap(m.Positions), cap(m.Indices)
+	m.Reset()
+	if m.NumVertices() != 0 || m.NumTriangles() != 0 || len(m.Normals) != 0 {
+		t.Fatal("Reset left data behind")
+	}
+	if cap(m.Positions) != cp || cap(m.Indices) != ci {
+		t.Fatal("Reset released capacity")
+	}
+}
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	m := Acquire()
+	m.AddVertex(mathx.Vec3{X: 1})
+	m.AddVertex(mathx.Vec3{Y: 1})
+	m.AddVertex(mathx.Vec3{Z: 1})
+	m.AddTriangle(0, 1, 2)
+	Release(m)
+	n := Acquire()
+	defer Release(n)
+	if n.NumVertices() != 0 || n.NumTriangles() != 0 {
+		t.Fatalf("Acquire returned a dirty mesh: %d verts, %d tris", n.NumVertices(), n.NumTriangles())
+	}
+	Release(nil) // must not panic
+}

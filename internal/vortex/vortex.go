@@ -10,6 +10,8 @@
 package vortex
 
 import (
+	"sync"
+
 	"viracocha/internal/grid"
 	"viracocha/internal/mathx"
 )
@@ -63,6 +65,31 @@ func nodeLambda2(b *grid.Block, i, j, k int) float64 {
 	return mathx.Lambda2(jac)
 }
 
+// fieldPool recycles the per-request λ2 scratch arrays the commands hand to
+// ComputeInto. Blocks within a data set share dimensions, so a pooled array
+// almost always fits the next request without reallocating.
+var fieldPool sync.Pool
+
+// AcquireField returns a scratch array of length n for ComputeInto. Contents
+// are unspecified — ComputeInto overwrites every element. Pair with
+// ReleaseField once the extraction that reads the field is done.
+func AcquireField(n int) []float32 {
+	if v, _ := fieldPool.Get().(*[]float32); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float32, n)
+}
+
+// ReleaseField returns a scratch array obtained from AcquireField to the
+// pool. The caller must not use the slice afterwards.
+func ReleaseField(s []float32) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	fieldPool.Put(&s)
+}
+
 // Lazy evaluates λ2 per node on demand with memoization. The backing array
 // is laid out exactly like a block scalar field, so it can be handed to the
 // isosurface triangulator directly once the relevant nodes are ensured.
@@ -73,10 +100,36 @@ type Lazy struct {
 	n    int
 }
 
-// NewLazy prepares a lazy evaluator for the block.
+// lazyPool recycles Lazy evaluators (their vals and done arrays) across
+// blocks and requests.
+var lazyPool sync.Pool
+
+// NewLazy prepares a lazy evaluator for the block, reusing pooled scratch
+// when it fits. Pair with Release when the block is done.
 func NewLazy(b *grid.Block) *Lazy {
 	nn := b.NumNodes()
-	return &Lazy{B: b, vals: make([]float32, nn), done: make([]bool, nn)}
+	l, _ := lazyPool.Get().(*Lazy)
+	if l == nil {
+		l = &Lazy{}
+	}
+	l.B = b
+	l.n = 0
+	if cap(l.vals) >= nn && cap(l.done) >= nn {
+		l.vals = l.vals[:nn]
+		l.done = l.done[:nn]
+		clear(l.done) // vals needs no clearing: done guards every read
+	} else {
+		l.vals = make([]float32, nn)
+		l.done = make([]bool, nn)
+	}
+	return l
+}
+
+// Release returns the evaluator's scratch to the pool. The caller must not
+// use l (or the array from Vals) afterwards.
+func (l *Lazy) Release() {
+	l.B = nil
+	lazyPool.Put(l)
 }
 
 // Node returns λ2 at node (i,j,k), computing it on first access.

@@ -171,3 +171,52 @@ func TestLazyStreamedActiveCellsMatchEager(t *testing.T) {
 		}
 	}
 }
+
+func TestAcquireFieldMatchesCompute(t *testing.T) {
+	b := lambOseenBlock(13)
+	want := make([]float32, b.NumNodes())
+	ComputeInto(b, want)
+	// Round-trip through the pool: the recycled array must be fully
+	// overwritten, with no stale values leaking between requests.
+	vals := AcquireField(b.NumNodes())
+	ComputeInto(b, vals)
+	ReleaseField(vals)
+	vals = AcquireField(b.NumNodes())
+	if len(vals) != b.NumNodes() {
+		t.Fatalf("AcquireField length %d, want %d", len(vals), b.NumNodes())
+	}
+	ComputeInto(b, vals)
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("pooled field differs at node %d: %v vs %v", i, vals[i], want[i])
+		}
+	}
+	ReleaseField(vals)
+	ReleaseField(nil) // must not panic
+}
+
+func TestLazyReleaseReuse(t *testing.T) {
+	b := lambOseenBlock(13)
+	l := NewLazy(b)
+	l.EnsureCell(2, 2, 1)
+	if l.ComputedNodes() != 8 {
+		t.Fatalf("ComputedNodes = %d, want 8", l.ComputedNodes())
+	}
+	l.Release()
+	// A recycled evaluator starts from scratch: no memoized nodes survive,
+	// and recomputed values match a fresh eager pass.
+	l2 := NewLazy(b)
+	defer l2.Release()
+	if l2.ComputedNodes() != 0 {
+		t.Fatalf("recycled Lazy reports %d computed nodes, want 0", l2.ComputedNodes())
+	}
+	want := make([]float32, b.NumNodes())
+	ComputeInto(b, want)
+	for _, ijk := range [][3]int{{2, 2, 1}, {0, 0, 0}, {5, 7, 2}} {
+		got := l2.Node(ijk[0], ijk[1], ijk[2])
+		idx := b.Index(ijk[0], ijk[1], ijk[2])
+		if float32(got) != want[idx] {
+			t.Fatalf("recycled Lazy node %v = %v, want %v", ijk, got, want[idx])
+		}
+	}
+}

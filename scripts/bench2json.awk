@@ -1,0 +1,24 @@
+# bench2json.awk — convert `go test -bench` output to a JSON array.
+#
+#   go test -run '^$' -bench ... -benchmem . | awk -f scripts/bench2json.awk
+#
+# Each benchmark line becomes one object: name, iterations, and one field per
+# reported metric (ns/op, B/op, allocs/op, plus any ReportMetric extras).
+BEGIN { n = 0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+	line = "  {\"name\": \"" name "\", \"iterations\": " $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/[^A-Za-z0-9]+/, "_", unit)
+		line = line ", \"" unit "\": " $i
+	}
+	line = line "}"
+	out[n++] = line
+}
+END {
+	print "["
+	for (i = 0; i < n; i++) print out[i] (i < n - 1 ? "," : "")
+	print "]"
+}

@@ -1,0 +1,38 @@
+# benchcmp.awk — before/after comparison of two `go test -bench` outputs.
+#
+#   awk -f scripts/benchcmp.awk old.txt new.txt
+#
+# Prints ns/op, B/op and allocs/op side by side with the relative change;
+# negative deltas are improvements.
+function base(s) { sub(/-[0-9]+$/, "", s); return s }
+function metric(unit,    i) {
+	for (i = 3; i + 1 <= NF; i += 2) if ($(i + 1) == unit) return $i
+	return ""
+}
+function delta(o, n) {
+	if (o == "" || n == "" || o + 0 == 0) return "      -"
+	return sprintf("%+6.1f%%", (n - o) / o * 100)
+}
+FNR == 1 { file++ }
+/^Benchmark/ {
+	name = base($1)
+	if (file == 1) {
+		ons[name] = metric("ns/op"); ob[name] = metric("B/op"); oa[name] = metric("allocs/op")
+		order[no++] = name
+	} else {
+		nns[name] = metric("ns/op"); nb[name] = metric("B/op"); na[name] = metric("allocs/op")
+	}
+}
+END {
+	printf "%-34s %12s %12s %8s %10s %10s %8s %8s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old B/op", "new B/op", "ΔB",
+		"old acs", "new acs", "Δallocs"
+	for (i = 0; i < no; i++) {
+		name = order[i]
+		if (!(name in nns)) continue
+		printf "%-34s %12s %12s %8s %10s %10s %8s %8s %8s %8s\n",
+			name, ons[name], nns[name], delta(ons[name], nns[name]),
+			ob[name], nb[name], delta(ob[name], nb[name]),
+			oa[name], na[name], delta(oa[name], na[name])
+	}
+}
