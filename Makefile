@@ -15,7 +15,7 @@ test:
 # storage device, and the pooled kernel scratch in iso/mesh/vortex that
 # workers share through sync.Pool).
 race:
-	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/ ./internal/iso/ ./internal/mesh/ ./internal/vortex/ ./internal/commands/
+	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/ ./internal/grid/ ./internal/iso/ ./internal/mesh/ ./internal/vortex/ ./internal/commands/
 
 # The seeded overload-resilience suite under the race detector: admission
 # control, session quotas, stream backpressure, slow-consumer culling, the
@@ -26,16 +26,20 @@ overload:
 vet:
 	$(GO) vet ./...
 
-# Kernel micro-benchmarks (real wall time, not virtual): the extraction,
-# mesh and codec hot paths. Writes the raw output to BENCH_3.txt and a JSON
-# digest to BENCH_3.json for the perf trajectory.
-KERNEL_BENCH ?= MarchingTetrahedra|ExtractRangeReuse|MeshWeld|MeshEncodeBinary|MeshAppend$$|ComputeNormals|Lambda2Field|BlockEncodeDecode
+# Kernel micro-benchmarks (real wall time, not virtual) plus the recorded
+# slider-sweep session pair: the extraction, mesh and codec hot paths and the
+# min/max-index repeated-query workload. Writes the raw output to BENCH_4.txt
+# and a JSON digest to BENCH_4.json for the perf trajectory.
+KERNEL_BENCH ?= MarchingTetrahedra|ExtractRangeReuse|MeshWeld|MeshEncodeBinary|MeshAppend$$|ComputeNormals|Lambda2Field|BlockEncodeDecode|SliderSweep
 bench:
-	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem -count=1 . | tee BENCH_3.txt
-	awk -f scripts/bench2json.awk BENCH_3.txt > BENCH_3.json
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem -count=1 . | tee BENCH_4.txt
+	awk -f scripts/bench2json.awk BENCH_4.txt > BENCH_4.json
 
-# Before/after comparison of two saved bench outputs:
-#   make benchcmp OLD=BENCH_old.txt NEW=BENCH_3.txt
+# Before/after comparison of two saved bench outputs (defaults diff the
+# previous PR's record against this one's):
+#   make benchcmp [OLD=BENCH_3.txt NEW=BENCH_4.txt]
+OLD ?= BENCH_3.txt
+NEW ?= BENCH_4.txt
 benchcmp:
 	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make benchcmp OLD=old.txt NEW=new.txt"; exit 1; }
 	@awk -f scripts/benchcmp.awk $(OLD) $(NEW)

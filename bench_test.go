@@ -162,6 +162,105 @@ func BenchmarkExtractRangeReuse(b *testing.B) {
 	b.ReportMetric(float64(blk.NumCells()), "cells/op")
 }
 
+// sweepBlocks pre-generates the engine set once and builds the per-block
+// min/max indexes, so the SliderSweep benchmarks time only the warm sweep.
+func sweepBlocks(b *testing.B) ([]*grid.Block, []*grid.MinMaxIndex) {
+	b.Helper()
+	ds := dataset.Engine().WithScale(2)
+	blks := make([]*grid.Block, ds.Blocks)
+	idxs := make([]*grid.MinMaxIndex, ds.Blocks)
+	for i := range blks {
+		blks[i] = ds.Generate(0, i)
+		idxs[i] = grid.BuildMinMax(blks[i], "pressure", blks[i].Scalars["pressure"])
+	}
+	return blks, idxs
+}
+
+// sliderIsos are the slider positions of the ablation-index sweep: dense
+// mid-range surfaces plus the sparse shells near the top of the pressure
+// range, as a drag across the slider passes through.
+var sliderIsos = []float64{350, 450, 550, 650, 750, 850}
+
+// benchSliderSweepSession runs the ablation-index session workload (a
+// scale-2 engine session dragging the iso slider over warm caches) and
+// reports one virtual-time cell of its table: Warm* report the summed warm
+// sweep, Cold* the first query (which on the indexed path also pays the
+// per-block index builds). The Warm pair is the recorded ≥2× claim; the Cold
+// pair bounds the first-query regression.
+func benchSliderSweepSession(b *testing.B, row, col int) {
+	var metric float64
+	for i := 0; i < b.N; i++ {
+		tbl := bench.AblationIndex(bench.Options{Scale: 2, Quick: true})
+		v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric = v
+	}
+	b.ReportMetric(metric, "virtual_s")
+}
+
+func BenchmarkSliderSweepWarmFull(b *testing.B)    { benchSliderSweepSession(b, 0, 2) }
+func BenchmarkSliderSweepWarmIndexed(b *testing.B) { benchSliderSweepSession(b, 1, 2) }
+func BenchmarkSliderSweepColdFull(b *testing.B)    { benchSliderSweepSession(b, 0, 1) }
+func BenchmarkSliderSweepColdIndexed(b *testing.B) { benchSliderSweepSession(b, 1, 1) }
+
+// BenchmarkSliderSweepScanFull is the unindexed wall-time scan kernel for the
+// repeated-query workload: every slider position rescans every cell of every
+// warm block.
+func BenchmarkSliderSweepScanFull(b *testing.B) {
+	blks, _ := sweepBlocks(b)
+	var m mesh.Mesh
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range sliderIsos {
+			for _, blk := range blks {
+				r := grid.CellRange{Hi: [3]int{blk.NI - 1, blk.NJ - 1, blk.NK - 1}}
+				m.Reset()
+				iso.ExtractRange(blk, blk.Scalars["pressure"], v, r, &m)
+			}
+		}
+	}
+}
+
+// BenchmarkSliderSweepScanIndexed is the same warm scan through the min/max
+// brick indexes: excluded blocks are rejected by one range test and the rest
+// scan only the bricks whose [min,max] straddles the iso value. The wall gap
+// to ScanFull is bounded by triangle generation, which both sides share; the
+// session-level Warm pair above carries the headline ratio.
+func BenchmarkSliderSweepScanIndexed(b *testing.B) {
+	blks, idxs := sweepBlocks(b)
+	var m mesh.Mesh
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range sliderIsos {
+			for bi, blk := range blks {
+				if idxs[bi].BlockExcludes(v) {
+					continue
+				}
+				r := grid.CellRange{Hi: [3]int{blk.NI - 1, blk.NJ - 1, blk.NK - 1}}
+				m.Reset()
+				iso.ExtractRangeIndexed(blk, blk.Scalars["pressure"], v, r, idxs[bi], &m)
+			}
+		}
+	}
+}
+
+// BenchmarkSliderSweepBuild prices the first-query overhead: one index build
+// per block, the cost the cold query pays before any sweep can skip.
+func BenchmarkSliderSweepBuild(b *testing.B) {
+	blks, _ := sweepBlocks(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, blk := range blks {
+			idx := grid.BuildMinMax(blk, "pressure", blk.Scalars["pressure"])
+			if idx.LoVal > idx.HiVal {
+				b.Fatal("empty index")
+			}
+		}
+	}
+}
+
 func BenchmarkMeshEncodeBinary(b *testing.B) {
 	blk := dataset.Engine().WithScale(2).Generate(0, 0)
 	var m mesh.Mesh

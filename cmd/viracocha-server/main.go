@@ -42,6 +42,7 @@ func main() {
 		memBudget = flag.Int64("mem-budget", 0, "DMS byte budget across all cache tiers (0 = unlimited)")
 		window    = flag.Int("stream-window", 32, "unacked partial packets per stream before the producer parks (0 = no flow control)")
 		slowAfter = flag.Duration("slow-consumer-after", 5*time.Second, "cancel a request parked on stream credit this long (0 = park forever)")
+		useIndex  = flag.Bool("index", false, "enable min/max acceleration indexes: cache per-(block, field) brick indexes, lambda2 fields and BSP trees as derived DMS entities (requests override with index=0/1)")
 		faultSpec faultList
 	)
 	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR")
@@ -52,6 +53,7 @@ func main() {
 		Prefetcher:       *prefetch,
 		StorageLatency:   *latency,
 		StorageBandwidth: *bandwidth,
+		UseIndex:         *useIndex,
 	}
 	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 {
 		ft := viracocha.DefaultFTConfig()

@@ -62,6 +62,7 @@ func PaperCost() core.CostModel {
 		PerLambda2Node:    400 * time.Microsecond,
 		PerBSPCell:        185 * time.Microsecond,
 		PerVelocityEval:   2900 * time.Microsecond,
+		PerIndexNode:      12 * time.Microsecond,
 		LazyLambda2Factor: 1.08,
 		PerMergeTriangle:  4 * time.Microsecond,
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"viracocha/internal/core"
 	"viracocha/internal/grid"
@@ -69,6 +70,7 @@ func (IsoDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	isoVal := ctx.FloatParam("iso", 0)
 	step := ctx.StepParam()
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
+	useIndex := ctx.IndexEnabled()
 	blocks := ctx.AssignedBlocks(nil)
 	out := &mesh.Mesh{}
 	for i, blk := range blocks {
@@ -76,13 +78,36 @@ func (IsoDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			return nil, core.ErrCancelled
 		}
 		if doPrefetch && i+1 < len(blocks) {
-			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+			next := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]}
+			if useIndex {
+				ctx.PrefetchIndexed(next, field)
+			} else {
+				ctx.Prefetch(next)
+			}
 		}
-		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
+		if useIndex {
+			// Whole-block test on a cached index: a block whose field range
+			// excludes iso contributes nothing, so skip even loading it.
+			if idx, ok := ctx.CachedMinMax(bid, field); ok && idx.BlockExcludes(isoVal) {
+				ctx.Progress(i+1, len(blocks))
+				continue
+			}
+		}
+		b, err := ctx.Load(bid)
 		if err != nil {
 			return nil, err
 		}
-		res := iso.ExtractBlock(b, field, isoVal, out)
+		var res iso.Result
+		if vals, ok := b.Scalars[field]; useIndex && ok {
+			idx := ctx.MinMaxIndex(b, field, vals)
+			if !idx.BlockExcludes(isoVal) {
+				r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+				res = iso.ExtractRangeIndexed(b, vals, isoVal, r, idx, out)
+			}
+		} else {
+			res = iso.ExtractBlock(b, field, isoVal, out)
+		}
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
 		ctx.Progress(i+1, len(blocks))
 	}
@@ -112,7 +137,8 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		Y: ctx.FloatParam("ey", 0),
 		Z: ctx.FloatParam("ez", 0),
 	}
-	order := frontToBackOrder(ctx, step, eye)
+	useIndex := ctx.IndexEnabled()
+	order, releaseOrder := frontToBackOrder(ctx, step, eye)
 	pending := mesh.Acquire()
 	var ex *iso.Extractor // rebound per block, invalidated on flush
 	flush := func(force bool) error {
@@ -133,15 +159,27 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	}
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
 	blocks := ctx.AssignedBlocks(order)
+	releaseOrder()
 	for i, blk := range blocks {
 		if ctx.Cancelled() {
 			return nil, core.ErrCancelled
 		}
 		if doPrefetch && i+1 < len(blocks) {
 			// OBL-style code prefetch of the next block in view order.
-			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+			next := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]}
+			if useIndex {
+				ctx.PrefetchIndexed(next, field)
+			} else {
+				ctx.Prefetch(next)
+			}
 		}
-		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
+		if useIndex {
+			if idx, ok := ctx.CachedMinMax(bid, field); ok && idx.BlockExcludes(isoVal) {
+				continue // provably empty: skip the load
+			}
+		}
+		b, err := ctx.Load(bid)
 		if err != nil {
 			return nil, err
 		}
@@ -149,10 +187,18 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		if !ok {
 			continue
 		}
-		// Build and traverse the per-block BSP tree; this is the extra cost
-		// the paper attributes to ViewerIso's streaming overhead.
-		tree := grid.BuildBSP(b, field)
-		ctx.Charge(ctx.Cost.BSPCost(b.NumCells()))
+		// The per-block BSP tree: rebuilt (and priced) every run on the
+		// baseline path, served from the derived-entity cache with the index
+		// path — the tree depends on neither viewpoint nor iso value.
+		var tree *grid.BSPTree
+		var idx *grid.MinMaxIndex
+		if useIndex {
+			tree = ctx.BSPTree(b, field)
+			idx = ctx.MinMaxIndex(b, field, vals)
+		} else {
+			tree = grid.BuildBSP(b, field)
+			ctx.Charge(ctx.Cost.BSPCost(b.NumCells()))
+		}
 		// One extractor across all BSP leaves of the block, so vertices on
 		// leaf boundaries weld too (until a flush restarts the packet).
 		if ex == nil {
@@ -162,7 +208,7 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		}
 		var streamErr error
 		tree.VisitFrontToBack(eye, isoVal, func(r grid.CellRange) bool {
-			res := ex.Range(vals, isoVal, r)
+			res := ex.RangeIndexed(vals, isoVal, r, idx)
 			ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
 			if err := flush(false); err != nil {
 				streamErr = err
@@ -185,18 +231,48 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	return nil, nil // everything streamed
 }
 
+// orderScratch is the reusable order/dist scratch of frontToBackOrder;
+// pooling it keeps the per-request sort allocation-free on the hot
+// interaction path (a viewer re-sorts on every camera move).
+type orderScratch struct {
+	order []int
+	dist  []float64
+}
+
+var orderPool = sync.Pool{New: func() any { return &orderScratch{} }}
+
+// blockOrderInto sorts order (a permutation of block indices) by dist
+// ascending. Equal distances tie-break on the block index itself, so the
+// result is a deterministic function of the distances — sort.Slice is not
+// stable, and symmetric datasets produce exact ties.
+func blockOrderInto(order []int, dist []float64) {
+	sort.Slice(order, func(a, b int) bool {
+		da, db := dist[order[a]], dist[order[b]]
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+}
+
 // frontToBackOrder sorts block indices by bounding-box distance from the
-// eye using the data set's analytic metadata — no block loads needed.
-func frontToBackOrder(ctx *core.Ctx, step int, eye mathx.Vec3) []int {
+// eye using the data set's analytic metadata — no block loads needed. The
+// returned slice is pooled scratch: call release once it is no longer read.
+func frontToBackOrder(ctx *core.Ctx, step int, eye mathx.Vec3) (order []int, release func()) {
 	n := ctx.Dataset.Blocks
-	order := make([]int, n)
-	dist := make([]float64, n)
+	s := orderPool.Get().(*orderScratch)
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+		s.dist = make([]float64, n)
+	}
+	order = s.order[:n]
+	dist := s.dist[:n]
 	for i := 0; i < n; i++ {
 		order[i] = i
 		dist[i] = ctx.Dataset.Bounds(step, i).Center().Sub(eye).Norm()
 	}
-	sort.SliceStable(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
-	return order
+	blockOrderInto(order, dist)
+	return order, func() { orderPool.Put(s) }
 }
 
 // ProgressiveIso implements the future-work multi-resolution streaming
@@ -223,18 +299,39 @@ func (ProgressiveIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	isoVal := ctx.FloatParam("iso", 0)
 	step := ctx.StepParam()
 	maxLevel := ctx.IntParam("levels", 2)
+	useIndex := ctx.IndexEnabled()
 	blocks := ctx.AssignedBlocks(nil)
 	for level := maxLevel; level >= 0; level-- {
 		levelMesh := &mesh.Mesh{}
 		for _, blk := range blocks {
-			b, err := ctx.LoadCoarse(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}, level)
+			bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
+			if useIndex && level == 0 {
+				// The final full-resolution level takes the index path; the
+				// coarse previews are cheap scans over subsampled nodes (a
+				// subset of the full grid, so a full-res index would bound
+				// them too, but they are not the hot cost).
+				if idx, ok := ctx.CachedMinMax(bid, field); ok && idx.BlockExcludes(isoVal) {
+					continue
+				}
+			}
+			b, err := ctx.LoadCoarse(bid, level)
 			if err != nil {
 				return nil, err
 			}
 			if !b.HasScalar(field) {
 				continue
 			}
-			res := iso.ExtractBlock(b, field, isoVal, levelMesh)
+			var res iso.Result
+			if useIndex && level == 0 {
+				vals := b.Scalars[field]
+				idx := ctx.MinMaxIndex(b, field, vals)
+				if !idx.BlockExcludes(isoVal) {
+					r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+					res = iso.ExtractRangeIndexed(b, vals, isoVal, r, idx, levelMesh)
+				}
+			} else {
+				res = iso.ExtractBlock(b, field, isoVal, levelMesh)
+			}
 			ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
 		}
 		if level > 0 {

@@ -2,6 +2,7 @@ package commands
 
 import (
 	"viracocha/internal/core"
+	"viracocha/internal/dms"
 	"viracocha/internal/grid"
 	"viracocha/internal/iso"
 	"viracocha/internal/mesh"
@@ -11,6 +12,37 @@ import (
 // Vortex parameters: "lambda2" is the iso threshold (≈ 0, slightly negative
 // in practice, §1.1); "cellbatch" is the streamed command's active-cell list
 // length (§6.3).
+
+// l2Field is the entity field name under which derived λ2 data (scalar
+// fields, min/max indexes) is cached in the DMS.
+const l2Field = "lambda2"
+
+// lambda2Values returns the block's λ2 scalar field. With caching enabled it
+// is served from the DMS derived-entity cache when hot, computed — and
+// priced — and offered to the cache otherwise; a user re-querying the vortex
+// threshold then reuses the field instead of recomputing the eigenvalue
+// sweep. release must be called when the caller is done with vals: it
+// returns pooled scratch only when the field is not cache-owned.
+func lambda2Values(ctx *core.Ctx, b *grid.Block, cached bool) (vals []float32, release func()) {
+	if cached {
+		name := dms.Lambda2Item(b.ID)
+		if e, ok := ctx.Proxy().GetDerived(name); ok {
+			if f, ok := e.(*grid.ScalarField); ok {
+				return f.Vals, func() {}
+			}
+		}
+		buf := vortex.AcquireField(b.NumNodes())
+		ctx.Charge(ctx.Cost.Lambda2Cost(vortex.ComputeInto(b, buf)))
+		if ctx.Proxy().PutDerived(name, &grid.ScalarField{Name: l2Field, Vals: buf}) {
+			// The cache owns the array now; it must not return to the pool.
+			return buf, func() {}
+		}
+		return buf, func() { vortex.ReleaseField(buf) }
+	}
+	buf := vortex.AcquireField(b.NumNodes())
+	ctx.Charge(ctx.Cost.Lambda2Cost(vortex.ComputeInto(b, buf)))
+	return buf, func() { vortex.ReleaseField(buf) }
+}
 
 // SimpleVortex is the λ2 baseline without data management: raw loads, full
 // scalar-field computation, then isosurface extraction.
@@ -52,6 +84,7 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	thresh := ctx.FloatParam("lambda2", 0)
 	step := ctx.StepParam()
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
+	useIndex := ctx.IndexEnabled()
 	blocks := ctx.AssignedBlocks(nil)
 	out := &mesh.Mesh{}
 	for i, blk := range blocks {
@@ -61,17 +94,35 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		if doPrefetch && i+1 < len(blocks) {
 			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
 		}
-		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
+		if useIndex {
+			// A cached λ2 index whose range excludes the threshold proves
+			// the block holds no vortex surface: skip the load, the λ2
+			// recomputation and the scan in one O(1) test.
+			if idx, ok := ctx.CachedMinMax(bid, l2Field); ok && idx.BlockExcludes(thresh) {
+				ctx.Progress(i+1, len(blocks))
+				continue
+			}
+		}
+		b, err := ctx.Load(bid)
 		if err != nil {
 			return nil, err
 		}
-		// λ2 is computed into a command-private array: the cache stores raw
-		// blocks shared across workers, so they must not be mutated.
-		vals := vortex.AcquireField(b.NumNodes())
-		ctx.Charge(ctx.Cost.Lambda2Cost(vortex.ComputeInto(b, vals)))
+		// λ2 lives in a command-private (or cache-owned) array: the cache
+		// stores raw blocks shared across workers, so they must not be
+		// mutated.
+		vals, release := lambda2Values(ctx, b, useIndex)
 		r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
-		res := iso.ExtractRange(b, vals, thresh, r, out)
-		vortex.ReleaseField(vals)
+		var res iso.Result
+		if useIndex {
+			idx := ctx.MinMaxIndex(b, l2Field, vals)
+			if !idx.BlockExcludes(thresh) {
+				res = iso.ExtractRangeIndexed(b, vals, thresh, r, idx, out)
+			}
+		} else {
+			res = iso.ExtractRange(b, vals, thresh, r, out)
+		}
+		release()
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
 		ctx.Progress(i+1, len(blocks))
 	}
@@ -93,6 +144,7 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	step := ctx.StepParam()
 	batch := ctx.IntParam("cellbatch", 256)
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
+	useIndex := ctx.IndexEnabled()
 	blocks := ctx.AssignedBlocks(nil)
 	for i, blk := range blocks {
 		if ctx.Cancelled() {
@@ -101,7 +153,21 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		if doPrefetch && i+1 < len(blocks) {
 			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
 		}
-		b, err := ctx.Load(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
+		bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
+		// The lazy scan cannot afford to compute the full λ2 field just to
+		// build an index, but it happily consumes one cached by an earlier
+		// vortex.dataman run: λ2 is evaluated by the same per-node function
+		// on both paths, so the index bounds the lazy values exactly.
+		var idx *grid.MinMaxIndex
+		if useIndex {
+			if cached, ok := ctx.CachedMinMax(bid, l2Field); ok {
+				if cached.BlockExcludes(thresh) {
+					continue // provably empty: skip the load entirely
+				}
+				idx = cached
+			}
+		}
+		b, err := ctx.Load(bid)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +202,15 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		}
 		for ck := 0; ck < b.NK-1; ck++ {
 			for cj := 0; cj < b.NJ-1; cj++ {
-				for ci := 0; ci < b.NI-1; ci++ {
+				for ci := 0; ci < b.NI-1; {
+					if idx != nil {
+						// Jump over brick runs that provably hold no active
+						// cell — their λ2 values are never even evaluated.
+						if next := idx.SkipTo(ci, cj, ck, thresh, b.NI-1); next > ci {
+							ci = next
+							continue
+						}
+					}
 					lazy.EnsureCell(ci, cj, ck)
 					visited++
 					// Fused test-and-extract, welded within the packet; an
@@ -150,6 +224,7 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 							}
 						}
 					}
+					ci++
 				}
 			}
 		}

@@ -140,6 +140,79 @@ func (c *Ctx) LoadRaw(id grid.BlockID) (*grid.Block, error) {
 // Prefetch issues an explicit (code) prefetch through the DMS.
 func (c *Ctx) Prefetch(id grid.BlockID) { c.worker.proxy.Prefetch(id) }
 
+// IndexEnabled reports whether the min/max acceleration-index path is on for
+// this request: the "index" parameter overrides the server-wide default
+// (Config.UseIndex, the -index flag).
+func (c *Ctx) IndexEnabled() bool {
+	def := 0
+	if c.rt.cfg.UseIndex {
+		def = 1
+	}
+	return c.IntParam("index", def) != 0
+}
+
+// PrefetchIndexed is Prefetch with index ride-along: when the speculatively
+// loaded block lands in the cache, its min/max index over field is built and
+// cached too, so the demand request that follows finds both hot.
+func (c *Ctx) PrefetchIndexed(id grid.BlockID, field string) {
+	c.worker.setIndexField(field)
+	c.worker.proxy.Prefetch(id)
+}
+
+// CachedMinMax returns the min/max index for (id, field) when some proxy
+// already holds it — local tiers first, then a peer transfer (the index is
+// hundreds of times smaller than its block, so shipping it is nearly free).
+// Combined with MinMaxIndex.BlockExcludes this lets a command prove a block
+// cannot intersect the surface before paying any I/O to load it.
+func (c *Ctx) CachedMinMax(id grid.BlockID, field string) (*grid.MinMaxIndex, bool) {
+	e, ok := c.worker.proxy.GetDerived(dms.IndexItem(id, field))
+	if !ok {
+		return nil, false
+	}
+	idx, ok := e.(*grid.MinMaxIndex)
+	return idx, ok
+}
+
+// MinMaxIndex returns the min/max brick index over vals for (b.ID, field),
+// serving it from the DMS derived-entity cache when hot and building — and
+// pricing — it otherwise. vals must be the field the index describes: a
+// stored scalar or a computed one (λ2). The fresh index is offered back to
+// the cache; a budget refusal just means the next request rebuilds.
+func (c *Ctx) MinMaxIndex(b *grid.Block, field string, vals []float32) *grid.MinMaxIndex {
+	name := dms.IndexItem(b.ID, field)
+	if e, ok := c.worker.proxy.GetDerived(name); ok {
+		if idx, ok := e.(*grid.MinMaxIndex); ok {
+			return idx
+		}
+	}
+	idx := grid.BuildMinMax(b, field, vals)
+	c.Charge(c.Cost.IndexCost(b.NumNodes()))
+	c.worker.proxy.PutDerived(name, idx)
+	return idx
+}
+
+// BSPTree returns the view-dependent BSP tree for (b, field), cached in the
+// DMS as a derived entity: the tree depends only on the block's geometry and
+// field, not on the viewpoint or iso value, so a user orbiting the camera or
+// dragging the slider reuses it across requests. Construction is priced on a
+// miss; a cache hit costs nothing extra (traversal work is priced per cell
+// by the extraction scan).
+func (c *Ctx) BSPTree(b *grid.Block, field string) *grid.BSPTree {
+	name := dms.BSPItem(b.ID, field)
+	if e, ok := c.worker.proxy.GetDerived(name); ok {
+		if t, ok := e.(*grid.BSPTree); ok {
+			return t
+		}
+	}
+	t := grid.BuildBSP(b, field)
+	c.Charge(c.Cost.BSPCost(b.NumCells()))
+	// The cached tree must not pin the (evictable) block it was built from;
+	// traversal only reads the prebuilt node ranges.
+	t.ReleaseBlock()
+	c.worker.proxy.PutDerived(name, t)
+	return t
+}
+
 // StreamPartial ships a partial result mesh directly to the visualization
 // client (the streaming path), accounting send time. The packet carries the
 // sender's rank, per-rank sequence number and attempt, so the client can

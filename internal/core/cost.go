@@ -23,6 +23,10 @@ type CostModel struct {
 	// PerVelocityEval prices one velocity interpolation during particle
 	// integration (locate + trilinear blend).
 	PerVelocityEval time.Duration
+	// PerIndexNode prices one node visit while building a min/max brick
+	// acceleration index — a single streaming sweep over the field, far
+	// cheaper than the extraction scan it later short-circuits.
+	PerIndexNode time.Duration
 	// LazyLambda2Factor scales PerLambda2Node for the streamed command's
 	// cell-at-a-time evaluation, which touches nodes in a cache-unfriendly
 	// order compared to the bulk sweep. 0 means 1.0 (no surcharge).
@@ -42,6 +46,7 @@ func DefaultCostModel() CostModel {
 		PerLambda2Node:   5500 * time.Nanosecond,
 		PerBSPCell:       300 * time.Nanosecond,
 		PerVelocityEval:  9 * time.Microsecond,
+		PerIndexNode:     70 * time.Nanosecond,
 		PerMergeTriangle: 600 * time.Nanosecond,
 	}
 }
@@ -67,6 +72,11 @@ func (m CostModel) LazyLambda2Cost(nodes int) time.Duration {
 		f = 1
 	}
 	return time.Duration(float64(m.Lambda2Cost(nodes)) * f)
+}
+
+// IndexCost prices building a min/max brick index over n nodes.
+func (m CostModel) IndexCost(nodes int) time.Duration {
+	return time.Duration(nodes) * m.PerIndexNode
 }
 
 // BSPCost prices building/traversing a BSP over n cells.

@@ -72,6 +72,12 @@ type Config struct {
 	// means no system prefetching. It is called once per worker so policies
 	// that learn (Markov) can be shared or per-node as the caller decides.
 	PrefetcherFor func(node string) prefetch.Prefetcher
+	// UseIndex turns the min/max acceleration-index path on by default:
+	// commands build per-(block, field) brick indexes, cache them (plus λ2
+	// fields and BSP trees) as derived DMS entities, and skip provably
+	// inactive bricks and blocks. Requests override with the "index"
+	// parameter. Off by default so baseline measurements stay comparable.
+	UseIndex bool
 	// FT configures heartbeats, failure detection and retry policy.
 	FT FTConfig
 	// Overload configures admission control and streaming backpressure; the

@@ -9,6 +9,7 @@ import (
 
 	"viracocha/internal/comm"
 	"viracocha/internal/dms"
+	"viracocha/internal/grid"
 	"viracocha/internal/mesh"
 	"viracocha/internal/prefetch"
 )
@@ -34,6 +35,9 @@ type Worker struct {
 
 	mu   sync.Mutex
 	busy bool // executing a command (reported in heartbeats)
+	// pfIndexField, when non-empty, is the scalar field whose min/max index
+	// rides along with prefetched blocks (set by Ctx.PrefetchIndexed).
+	pfIndexField string
 }
 
 func newWorker(rt *Runtime, node string, pf prefetch.Prefetcher) *Worker {
@@ -47,6 +51,38 @@ func newWorker(rt *Runtime, node string, pf prefetch.Prefetcher) *Worker {
 
 // Node reports the worker's node name.
 func (w *Worker) Node() string { return w.node }
+
+// setIndexField remembers the field whose min/max index should be built for
+// blocks that land via prefetch (Ctx.PrefetchIndexed).
+func (w *Worker) setIndexField(field string) {
+	w.mu.Lock()
+	w.pfIndexField = field
+	w.mu.Unlock()
+}
+
+// indexPrefetched runs in the prefetch goroutine after a speculatively
+// loaded block entered the cache: it builds the block's min/max index and
+// caches it as a derived entity, charging the build to the background
+// goroutine's virtual time so the speculative work overlaps the demand path
+// exactly like the load itself.
+func (w *Worker) indexPrefetched(b *grid.Block) {
+	w.mu.Lock()
+	field := w.pfIndexField
+	w.mu.Unlock()
+	if field == "" {
+		return
+	}
+	vals, ok := b.Scalars[field]
+	if !ok {
+		return
+	}
+	name := dms.IndexItem(b.ID, field)
+	if w.proxy.HasDerived(name) {
+		return
+	}
+	w.rt.Clock.Sleep(w.rt.Cost.IndexCost(b.NumNodes()))
+	w.proxy.PutDerived(name, grid.BuildMinMax(b, field, vals))
+}
 
 // Proxy exposes the worker's DMS proxy (tests and cache-priming).
 func (w *Worker) Proxy() *dms.Proxy { return w.proxy }
@@ -84,6 +120,7 @@ func (w *Worker) setBusy(b bool) {
 // actor loop plus the heartbeat actor.
 func (w *Worker) start() {
 	w.proxy = w.rt.DMS.NewProxy(w.node, w.pf)
+	w.proxy.OnPrefetched = w.indexPrefetched
 	w.rt.Clock.Go(w.loop)
 	if w.rt.cfg.FT.HeartbeatEvery > 0 {
 		w.rt.Clock.Go(w.heartbeatLoop)

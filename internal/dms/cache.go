@@ -4,9 +4,26 @@ import (
 	"sync"
 	"time"
 
-	"viracocha/internal/grid"
 	"viracocha/internal/vclock"
 )
+
+// Entity is anything the DMS can cache: demand-loaded grid blocks, and
+// derived data computed from them — min/max acceleration indexes, λ2 scalar
+// fields, BSP trees. The paper's DMS manages "data entities", not files
+// (§4); the only thing a cache needs from one is its size.
+type Entity interface {
+	SizeBytes() int64
+}
+
+// IsDerived reports whether the entity is derived (re-computable from a
+// block) rather than demand-loaded. Derived types opt in by declaring a
+// DerivedEntity() marker method; under memory pressure the cache evicts
+// derived entities before demand blocks, because rebuilding an index is
+// cheaper than re-reading a block from storage.
+func IsDerived(e Entity) bool {
+	_, ok := e.(interface{ DerivedEntity() })
+	return ok
+}
 
 // CacheStats counts cache traffic.
 type CacheStats struct {
@@ -19,26 +36,30 @@ type CacheStats struct {
 	PrefetchUsed   int64 // prefetched items later hit by a demand request
 	RejectedLarge  int64 // items larger than the whole cache
 	RejectedBudget int64 // items refused because the memory budget was exhausted
+	DerivedEvictions int64 // evictions that hit a derived entity
 }
 
 // entry is one cached item.
 type entry struct {
 	id         ItemID
-	block      *grid.Block
+	item       Entity
 	size       int64
 	prefetched bool
+	derived    bool
 }
 
 // Evicted describes an item pushed out of a cache, so a tiered cache can
 // spill it to the next level.
 type Evicted struct {
-	ID    ItemID
-	Block *grid.Block
-	Size  int64
+	ID   ItemID
+	Item Entity
+	Size int64
 }
 
-// Cache is a byte-capacity block cache with a pluggable replacement policy.
-// It is safe for concurrent use.
+// Cache is a byte-capacity entity cache with a pluggable replacement policy.
+// It is safe for concurrent use. Demand blocks and derived entities are
+// tracked by two instances of the same policy so that victim selection can
+// sacrifice derived (re-computable) data first.
 type Cache struct {
 	name     string
 	capacity int64
@@ -46,25 +67,62 @@ type Cache struct {
 	// Budget, when non-nil, is a byte budget shared with other caches (the
 	// other tier, other proxies): every insert reserves against it and every
 	// eviction or removal releases. An insert that cannot reserve — even
-	// after evicting its own victims — is refused and the block served
+	// after evicting its own victims — is refused and the item served
 	// uncached.
 	Budget *Budget
 
-	mu     sync.Mutex
-	used   int64
-	items  map[ItemID]*entry
-	policy Policy
-	stats  CacheStats
+	mu      sync.Mutex
+	used    int64
+	items   map[ItemID]*entry
+	policy  Policy // demand blocks
+	derived Policy // derived entities, evicted first
+	stats   CacheStats
 }
 
-// NewCache builds a cache with the given byte capacity and policy.
+// NewCache builds a cache with the given byte capacity and policy. A second
+// instance of the same policy kind governs derived entities.
 func NewCache(name string, capacity int64, policy Policy) *Cache {
-	return &Cache{name: name, capacity: capacity, items: map[ItemID]*entry{}, policy: policy}
+	return &Cache{
+		name:     name,
+		capacity: capacity,
+		items:    map[ItemID]*entry{},
+		policy:   policy,
+		derived:  siblingPolicy(policy),
+	}
 }
 
-// Get returns the cached block, updating policy and statistics. A demand hit
-// on a prefetched item counts it as a useful prefetch.
-func (c *Cache) Get(id ItemID) (*grid.Block, bool) {
+// siblingPolicy builds a fresh policy of the same kind; custom policies with
+// unregistered names fall back to LRU for their derived side.
+func siblingPolicy(p Policy) (out Policy) {
+	defer func() {
+		if recover() != nil {
+			out = NewLRU()
+		}
+	}()
+	return NewPolicy(p.Name())
+}
+
+// policyFor returns the policy tracking the entry.
+func (c *Cache) policyFor(e *entry) Policy {
+	if e.derived {
+		return c.derived
+	}
+	return c.policy
+}
+
+// victimLocked picks the next eviction victim: derived entities go first —
+// an index or BSP tree is rebuilt from its block in memory, while a demand
+// block costs a storage or peer round trip. Caller holds c.mu.
+func (c *Cache) victimLocked() (ItemID, bool) {
+	if vid, ok := c.derived.Victim(); ok {
+		return vid, true
+	}
+	return c.policy.Victim()
+}
+
+// Get returns the cached entity, updating policy and statistics. A demand
+// hit on a prefetched item counts it as a useful prefetch.
+func (c *Cache) Get(id ItemID) (Entity, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[id]
@@ -77,45 +135,46 @@ func (c *Cache) Get(id ItemID) (*grid.Block, bool) {
 		c.stats.PrefetchUsed++
 		e.prefetched = false
 	}
-	c.policy.Touch(id)
-	return e.block, true
+	c.policyFor(e).Touch(id)
+	return e.item, true
 }
 
 // Peek reports whether the item is cached without perturbing the policy or
 // statistics; the peer-transfer source uses it for availability checks.
-func (c *Cache) Peek(id ItemID) (*grid.Block, bool) {
+func (c *Cache) Peek(id ItemID) (Entity, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[id]
 	if !ok {
 		return nil, false
 	}
-	return e.block, true
+	return e.item, true
 }
 
-// Put inserts a block, evicting per policy until it fits, and returns the
+// Put inserts an entity, evicting per policy until it fits, and returns the
 // evicted items so a tiered cache can spill them. Items larger than the
 // whole cache are rejected (returned in Evicted with ok=false semantics is
 // avoided; they are simply not cached and counted).
-func (c *Cache) Put(id ItemID, b *grid.Block, prefetched bool) []Evicted {
-	ev, _ := c.put(id, b, prefetched)
+func (c *Cache) Put(id ItemID, item Entity, prefetched bool) []Evicted {
+	ev, _ := c.put(id, item, prefetched)
 	return ev
 }
 
-// PutOK is Put, additionally reporting whether the block actually resides in
+// PutOK is Put, additionally reporting whether the item actually resides in
 // the cache afterwards (false when rejected for size or memory budget).
-func (c *Cache) PutOK(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool) {
-	return c.put(id, b, prefetched)
+func (c *Cache) PutOK(id ItemID, item Entity, prefetched bool) ([]Evicted, bool) {
+	return c.put(id, item, prefetched)
 }
 
-func (c *Cache) put(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool) {
-	size := b.SizeBytes()
+func (c *Cache) put(id ItemID, item Entity, prefetched bool) ([]Evicted, bool) {
+	size := item.SizeBytes()
+	derived := IsDerived(item)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[id]; ok {
 		// Re-insert of a cached item: refresh recency; a demand re-insert
 		// clears the prefetched mark.
-		c.policy.Touch(id)
+		c.policyFor(e).Touch(id)
 		if !prefetched {
 			e.prefetched = false
 		}
@@ -127,7 +186,7 @@ func (c *Cache) put(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool)
 	}
 	var out []Evicted
 	for c.used+size > c.capacity {
-		vid, ok := c.policy.Victim()
+		vid, ok := c.victimLocked()
 		if !ok {
 			break
 		}
@@ -135,9 +194,9 @@ func (c *Cache) put(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool)
 	}
 	// Memory budget: reserve before inserting, evicting our own victims
 	// under pressure. When nothing is left to evict the insert is refused
-	// and the block is served uncached (degraded, but never over budget).
+	// and the item is served uncached (degraded, but never over budget).
 	for !c.Budget.TryReserve(size) {
-		vid, ok := c.policy.Victim()
+		vid, ok := c.victimLocked()
 		if !ok {
 			c.Budget.noteRejected()
 			c.stats.RejectedBudget++
@@ -145,8 +204,12 @@ func (c *Cache) put(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool)
 		}
 		out = append(out, c.evictLocked(vid))
 	}
-	c.items[id] = &entry{id: id, block: b, size: size, prefetched: prefetched}
-	c.policy.Insert(id)
+	c.items[id] = &entry{id: id, item: item, size: size, prefetched: prefetched, derived: derived}
+	if derived {
+		c.derived.Insert(id)
+	} else {
+		c.policy.Insert(id)
+	}
 	c.used += size
 	c.stats.Puts++
 	if prefetched {
@@ -159,13 +222,16 @@ func (c *Cache) put(id ItemID, b *grid.Block, prefetched bool) ([]Evicted, bool)
 // holds c.mu.
 func (c *Cache) evictLocked(vid ItemID) Evicted {
 	ve := c.items[vid]
-	c.policy.Remove(vid)
+	c.policyFor(ve).Remove(vid)
 	delete(c.items, vid)
 	c.used -= ve.size
 	c.Budget.Release(ve.size)
 	c.stats.Evictions++
 	c.stats.BytesEvicted += ve.size
-	return Evicted{ID: vid, Block: ve.block, Size: ve.size}
+	if ve.derived {
+		c.stats.DerivedEvictions++
+	}
+	return Evicted{ID: vid, Item: ve.item, Size: ve.size}
 }
 
 // Remove drops an item if present.
@@ -173,7 +239,7 @@ func (c *Cache) Remove(id ItemID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[id]; ok {
-		c.policy.Remove(id)
+		c.policyFor(e).Remove(id)
 		delete(c.items, id)
 		c.used -= e.size
 		c.Budget.Release(e.size)
@@ -184,8 +250,8 @@ func (c *Cache) Remove(id ItemID) {
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for id := range c.items {
-		c.policy.Remove(id)
+	for id, e := range c.items {
+		c.policyFor(e).Remove(id)
 	}
 	c.Budget.Release(c.used)
 	c.items = map[ItemID]*entry{}
@@ -228,34 +294,34 @@ type Tiered struct {
 }
 
 // Get looks the item up in L1 then L2, promoting on a secondary hit.
-func (t *Tiered) Get(id ItemID) (*grid.Block, bool) {
-	if b, ok := t.L1.Get(id); ok {
-		return b, true
+func (t *Tiered) Get(id ItemID) (Entity, bool) {
+	if e, ok := t.L1.Get(id); ok {
+		return e, true
 	}
 	if t.L2 == nil {
 		return nil, false
 	}
-	b, ok := t.L2.Get(id)
+	e, ok := t.L2.Get(id)
 	if !ok {
 		return nil, false
 	}
 	t.L2.Remove(id)
 	if t.PromoteCost != nil {
-		t.Clock.Sleep(t.PromoteCost(b.SizeBytes()))
+		t.Clock.Sleep(t.PromoteCost(e.SizeBytes()))
 	}
-	t.insertL1(id, b, false)
-	return b, true
+	t.insertL1(id, e, false)
+	return e, true
 }
 
 // Put inserts into the primary cache, spilling evictions to the secondary.
-// It reports whether the block is resident in either tier afterwards (false
+// It reports whether the item is resident in either tier afterwards (false
 // when the memory budget refused it).
-func (t *Tiered) Put(id ItemID, b *grid.Block, prefetched bool) bool {
-	return t.insertL1(id, b, prefetched)
+func (t *Tiered) Put(id ItemID, item Entity, prefetched bool) bool {
+	return t.insertL1(id, item, prefetched)
 }
 
-func (t *Tiered) insertL1(id ItemID, b *grid.Block, prefetched bool) bool {
-	spilled, ok := t.L1.PutOK(id, b, prefetched)
+func (t *Tiered) insertL1(id ItemID, item Entity, prefetched bool) bool {
+	spilled, ok := t.L1.PutOK(id, item, prefetched)
 	if t.L2 == nil {
 		return ok
 	}
@@ -263,7 +329,7 @@ func (t *Tiered) insertL1(id ItemID, b *grid.Block, prefetched bool) bool {
 		if t.SpillCost != nil {
 			t.Clock.Sleep(t.SpillCost(ev.Size))
 		}
-		t.L2.Put(ev.ID, ev.Block, false)
+		t.L2.Put(ev.ID, ev.Item, false)
 	}
 	return ok
 }
@@ -273,9 +339,9 @@ func (t *Tiered) insertL1(id ItemID, b *grid.Block, prefetched bool) bool {
 func (t *Tiered) Budget() *Budget { return t.L1.Budget }
 
 // Peek checks both tiers without side effects.
-func (t *Tiered) Peek(id ItemID) (*grid.Block, bool) {
-	if b, ok := t.L1.Peek(id); ok {
-		return b, true
+func (t *Tiered) Peek(id ItemID) (Entity, bool) {
+	if e, ok := t.L1.Peek(id); ok {
+		return e, true
 	}
 	if t.L2 == nil {
 		return nil, false

@@ -48,6 +48,25 @@ func CoarseBlockItem(id grid.BlockID, level int) ItemName {
 	return n
 }
 
+// IndexItem is the ItemName of the min/max brick acceleration index over one
+// block's field (entity kind "index:<field>"). Derived entities share the
+// parent block's source, so the name service keeps the relationship visible.
+func IndexItem(id grid.BlockID, field string) ItemName {
+	return ItemName{Source: id.String(), Type: "index:" + field, Format: "minmax"}
+}
+
+// Lambda2Item is the ItemName of a block's derived λ2 scalar field (entity
+// kind "l2"; the time step is part of the source).
+func Lambda2Item(id grid.BlockID) ItemName {
+	return ItemName{Source: id.String(), Type: "l2", Format: "field"}
+}
+
+// BSPItem is the ItemName of the view-dependent BSP tree over one block's
+// field (entity kind "bsp:<field>").
+func BSPItem(id grid.BlockID, field string) ItemName {
+	return ItemName{Source: id.String(), Type: "bsp:" + field, Format: "tree"}
+}
+
 // ItemID is the unambiguous identifier a NameServer assigns to an ItemName.
 // Proxies cache and exchange items by ID.
 type ItemID uint64

@@ -23,6 +23,19 @@ type ProxyStats struct {
 	RemoteResolves  int64 // name resolutions that consulted the server
 	PrefetchShed    int64 // prefetches shed because the memory budget was under pressure
 	DemandUncached  int64 // demand loads whose block could not be cached (degraded path)
+	DerivedHits     int64 // GetDerived calls answered from a cache (local or peer)
+	DerivedMisses   int64 // GetDerived calls that found nothing — caller rebuilds
+	DerivedPeerHits int64 // GetDerived calls answered by another proxy's cache
+	DerivedPuts     int64 // derived entities offered to the cache
+	DerivedUncached int64 // derived entities the memory budget refused to admit
+}
+
+// EntityPeers finds derived entities in other proxies' caches. Demand blocks
+// travel through the loader's peer source (addressable by BlockID); derived
+// entities are addressable only by ItemID, so they need their own
+// cooperative-cache path. The data-manager server implements it.
+type EntityPeers interface {
+	FetchEntity(self *Proxy, item ItemID) (Entity, bool)
 }
 
 // Coordinator is the central fetch registry at the data-manager server:
@@ -62,6 +75,15 @@ type Proxy struct {
 	// PrefetchShedAt is the budget pressure (fraction in use) above which
 	// speculative prefetches are shed; <= 0 means the 0.9 default.
 	PrefetchShedAt float64
+	// Peers, when set, lets GetDerived pull derived entities out of other
+	// proxies' caches (a charged peer transfer).
+	Peers EntityPeers
+	// OnPrefetched, when set, runs in the prefetch goroutine after a
+	// speculatively loaded block lands in the cache. The core layer uses it
+	// to build acceleration indexes alongside prefetched blocks, so the
+	// first demand query after a prefetch finds both the block and its
+	// index hot.
+	OnPrefetched func(b *grid.Block)
 
 	mu       sync.Mutex
 	inflight map[ItemID]*vclock.Gate
@@ -108,7 +130,8 @@ func (p *Proxy) Get(id grid.BlockID) (*grid.Block, error) {
 	p.stats.DemandRequests++
 	p.mu.Unlock()
 	for {
-		if b, ok := p.Cache.Get(item); ok {
+		if e, ok := p.Cache.Get(item); ok {
+			b := e.(*grid.Block) // a BlockItem name always caches a block
 			p.StatsUnit.Record(id, false, p.Clock.Now())
 			p.Prefetcher.Record(id, false)
 			p.systemPrefetch(id)
@@ -206,7 +229,9 @@ func (p *Proxy) Prefetch(id grid.BlockID) {
 	p.Clock.Go(func() {
 		b, _, err := p.Loader.LoadBackground(id)
 		if err == nil {
-			p.Cache.Put(item, b, true)
+			if p.Cache.Put(item, b, true) && p.OnPrefetched != nil {
+				p.OnPrefetched(b)
+			}
 		}
 		p.mu.Lock()
 		delete(p.inflight, item)
@@ -234,8 +259,8 @@ func (p *Proxy) GetCoarse(id grid.BlockID, level int) (*grid.Block, error) {
 		return p.Get(id)
 	}
 	item := p.resolve(CoarseBlockItem(id, level))
-	if b, ok := p.Cache.Get(item); ok {
-		return b, nil
+	if e, ok := p.Cache.Get(item); ok {
+		return e.(*grid.Block), nil
 	}
 	full, err := p.Get(id)
 	if err != nil {
@@ -244,6 +269,59 @@ func (p *Proxy) GetCoarse(id grid.BlockID, level int) (*grid.Block, error) {
 	c := full.Coarsen(level)
 	p.Cache.Put(item, c, false)
 	return c, nil
+}
+
+// GetDerived returns a cached derived entity (acceleration index, λ2 field,
+// BSP tree) by name: local tiers first, then other proxies' caches — derived
+// data is peer-transferable like any entity, and an index is far cheaper to
+// ship than the block it summarizes. A miss means no proxy holds it; the
+// caller rebuilds and offers the result back through PutDerived.
+func (p *Proxy) GetDerived(n ItemName) (Entity, bool) {
+	item := p.resolve(n)
+	if e, ok := p.Cache.Get(item); ok {
+		p.mu.Lock()
+		p.stats.DerivedHits++
+		p.mu.Unlock()
+		return e, true
+	}
+	if p.Peers != nil {
+		if e, ok := p.Peers.FetchEntity(p, item); ok {
+			p.Cache.Put(item, e, false)
+			p.mu.Lock()
+			p.stats.DerivedHits++
+			p.stats.DerivedPeerHits++
+			p.mu.Unlock()
+			return e, true
+		}
+	}
+	p.mu.Lock()
+	p.stats.DerivedMisses++
+	p.mu.Unlock()
+	return nil, false
+}
+
+// HasDerived reports whether the derived entity is resident in the local
+// tiers, with no policy, statistics or peer side effects (prefetch-path
+// existence checks).
+func (p *Proxy) HasDerived(n ItemName) bool {
+	id, _ := p.Resolver.Resolve(n)
+	_, ok := p.Cache.Peek(id)
+	return ok
+}
+
+// PutDerived offers a freshly built derived entity to the cache, reporting
+// whether it was admitted. False means the memory budget refused it: the
+// caller keeps using the entity for this request and the next request
+// rebuilds — degraded, never over budget.
+func (p *Proxy) PutDerived(n ItemName, e Entity) bool {
+	ok := p.Cache.Put(p.resolve(n), e, false)
+	p.mu.Lock()
+	p.stats.DerivedPuts++
+	if !ok {
+		p.stats.DerivedUncached++
+	}
+	p.mu.Unlock()
+	return ok
 }
 
 // Stats returns a copy of the proxy statistics.

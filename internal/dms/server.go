@@ -125,6 +125,7 @@ func (s *Server) NewProxy(node string, pf prefetch.Prefetcher) *Proxy {
 	p.PrefetchShedAt = cfg.PrefetchShedAt
 	if !cfg.DisablePeer {
 		sel.AddSource(s.peerSource(p))
+		p.Peers = s
 	}
 
 	s.mu.Lock()
@@ -147,8 +148,10 @@ func (s *Server) peerSource(self *Proxy) loader.Source {
 			if q == self {
 				continue
 			}
-			if b, ok := q.Cache.Peek(item); ok {
-				return b, true
+			if e, ok := q.Cache.Peek(item); ok {
+				if b, ok := e.(*grid.Block); ok {
+					return b, true
+				}
 			}
 		}
 		return nil, false
@@ -176,6 +179,26 @@ func (s *Server) peerSource(self *Proxy) loader.Source {
 			return b, size, nil
 		},
 	}
+}
+
+// FetchEntity implements EntityPeers: it finds a derived entity in some
+// other proxy's cache and charges the interconnect transfer for its size.
+// Like the block peer source, the cooperative cache is greedy — no duplicate
+// deletion (paper §4.3).
+func (s *Server) FetchEntity(self *Proxy, item ItemID) (Entity, bool) {
+	s.mu.Lock()
+	peers := append([]*Proxy(nil), s.proxies...)
+	s.mu.Unlock()
+	for _, q := range peers {
+		if q == self {
+			continue
+		}
+		if e, ok := q.Cache.Peek(item); ok {
+			s.Clock.Sleep(s.peerCost(e.SizeBytes()))
+			return e, true
+		}
+	}
+	return nil, false
 }
 
 func (s *Server) peerCost(bytes int64) time.Duration {
@@ -256,6 +279,7 @@ func (s *Server) AggregateStats() (CacheStats, ProxyStats) {
 		cs.PrefetchUsed += l1.PrefetchUsed
 		cs.RejectedLarge += l1.RejectedLarge
 		cs.RejectedBudget += l1.RejectedBudget
+		cs.DerivedEvictions += l1.DerivedEvictions
 		if l2 := p.Cache.L2; l2 != nil {
 			cs.RejectedBudget += l2.Stats().RejectedBudget
 		}
@@ -270,6 +294,11 @@ func (s *Server) AggregateStats() (CacheStats, ProxyStats) {
 		ps.RemoteResolves += st.RemoteResolves
 		ps.PrefetchShed += st.PrefetchShed
 		ps.DemandUncached += st.DemandUncached
+		ps.DerivedHits += st.DerivedHits
+		ps.DerivedMisses += st.DerivedMisses
+		ps.DerivedPeerHits += st.DerivedPeerHits
+		ps.DerivedPuts += st.DerivedPuts
+		ps.DerivedUncached += st.DerivedUncached
 	}
 	return cs, ps
 }

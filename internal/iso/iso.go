@@ -128,6 +128,10 @@ type Result struct {
 	CellsVisited int
 	ActiveCells  int
 	Triangles    int
+	// CellsSkipped counts cells a min/max brick index proved inactive
+	// without touching their corner values (indexed scans only). Visited +
+	// skipped equals the cell count of the scanned range.
+	CellsSkipped int
 }
 
 // ExtractRange triangulates all active cells in the half-open cell range,
@@ -139,6 +143,16 @@ func ExtractRange(b *grid.Block, vals []float32, iso float64, r grid.CellRange, 
 	e := NewExtractor(b, m)
 	defer e.Close()
 	return e.Range(vals, iso, r)
+}
+
+// ExtractRangeIndexed is ExtractRange guided by a min/max brick index built
+// over the same vals: bricks whose range excludes iso are skipped without
+// loading a corner, and the output is bit-identical to the full scan. A nil
+// index falls back to ExtractRange.
+func ExtractRangeIndexed(b *grid.Block, vals []float32, iso float64, r grid.CellRange, idx *grid.MinMaxIndex, m *mesh.Mesh) Result {
+	e := NewExtractor(b, m)
+	defer e.Close()
+	return e.RangeIndexed(vals, iso, r, idx)
 }
 
 // ExtractBlock triangulates a whole block for the named scalar field.

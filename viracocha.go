@@ -94,6 +94,11 @@ type Options struct {
 	// ChargePaperBytes makes the storage device charge each data set's
 	// paper-scale block size instead of the synthetic block's real size.
 	ChargePaperBytes bool
+	// UseIndex turns the min/max acceleration-index path on by default:
+	// commands cache per-(block, field) brick indexes, λ2 fields and BSP
+	// trees as derived DMS entities and skip provably inactive regions.
+	// Requests override per call with the "index" parameter.
+	UseIndex bool
 	// FT overrides the fault-tolerance defaults (heartbeat interval,
 	// failure window, retry budget and backoff); nil keeps DefaultFTConfig.
 	FT *FTConfig
@@ -134,6 +139,7 @@ func New(opts Options) *System {
 	} else {
 		cfg.Cost = core.ZeroCostModel()
 	}
+	cfg.UseIndex = opts.UseIndex
 	if opts.FT != nil {
 		cfg.FT = *opts.FT
 	}
