@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz overload bench benchcmp check clean
+.PHONY: all build test race vet fuzz overload soak bench benchcmp check clean
 
 all: check
 
@@ -22,6 +22,15 @@ race:
 # DMS memory budget and the pending-queue ring.
 overload:
 	$(GO) test -race -count=1 -run 'Overload|Admission|Quota|SlowConsumer|StreamWindow|MemBudget|Budget|MsgRing|Evict|Shed|Corrupt' ./internal/core/ ./internal/dms/ ./internal/storage/ ./internal/faults/
+
+# Randomized fault-scenario soak: SOAK_SEEDS crash timelines (varying
+# command, group size, victim rank and crash time) each checked for result
+# equivalence against its fault-free reference, plus the targeted recovery,
+# straggler and tagged-stream suites under the race detector.
+SOAK_SEEDS ?= 24
+soak:
+	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 -v -run 'TestSoakRecovery' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestSpan|TestStraggler|TestDuplicateRedispatch|TestTagged|TestRedistributeOff|TestWatermark' ./internal/core/
 
 vet:
 	$(GO) vet ./...

@@ -39,7 +39,7 @@ func main() {
 		olRetry = flag.Int("overload-retries", 3, "resubmissions after a server overloaded rejection, honoring its retry-after hint (0 = fail fast)")
 		ps      paramList
 	)
-	flag.Var(&ps, "p", "command parameter key=value (repeatable)")
+	flag.Var(&ps, "p", "command parameter key=value (repeatable; redistribute=0/1 overrides the server's block-granular recovery default per request)")
 	flag.Parse()
 
 	if *script != "" {

@@ -37,6 +37,8 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = default 250ms)")
 		failAfter = flag.Duration("fail-after", 0, "declare a silent worker dead after this (0 = default 2s)")
 		retries   = flag.Int("retries", -1, "per-request recovery retry budget (-1 = default 2)")
+		redistrib = flag.Bool("redistribute", false, "block-granular recovery: journal per-rank progress and re-issue only a dead rank's unfinished blocks (requests override with redistribute=0/1)")
+		stragglerF = flag.Float64("straggler-factor", 0, "speculatively re-run a rank whose completed-block count times this factor trails the group median (0 = off; needs -redistribute)")
 		maxQueue  = flag.Int("max-queue", 256, "max queued requests before rejecting with overloaded (0 = unlimited)")
 		quota     = flag.Int("session-quota", 32, "max in-flight requests per client session (0 = unlimited)")
 		memBudget = flag.Int64("mem-budget", 0, "DMS byte budget across all cache tiers (0 = unlimited)")
@@ -45,7 +47,7 @@ func main() {
 		useIndex  = flag.Bool("index", false, "enable min/max acceleration indexes: cache per-(block, field) brick indexes, lambda2 fields and BSP trees as derived DMS entities (requests override with index=0/1)")
 		faultSpec faultList
 	)
-	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR")
+	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR, lag:NODE:FACTOR")
 	flag.Parse()
 
 	opts := viracocha.Options{
@@ -55,7 +57,7 @@ func main() {
 		StorageBandwidth: *bandwidth,
 		UseIndex:         *useIndex,
 	}
-	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 {
+	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 || *redistrib || *stragglerF > 0 {
 		ft := viracocha.DefaultFTConfig()
 		if *heartbeat > 0 {
 			ft.HeartbeatEvery = *heartbeat
@@ -66,6 +68,8 @@ func main() {
 		if *retries >= 0 {
 			ft.MaxRetries = *retries
 		}
+		ft.Redistribute = *redistrib
+		ft.StragglerFactor = *stragglerF
 		opts.FT = &ft
 	}
 	opts.Overload = &viracocha.OverloadConfig{

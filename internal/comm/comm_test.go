@@ -134,6 +134,32 @@ func TestParamHelpers(t *testing.T) {
 	}
 }
 
+func TestIntListRoundTrip(t *testing.T) {
+	for _, items := range [][]int{nil, {}, {0}, {5}, {3, 1, 4, 1, 5, 9}, {-2, 0, 7}} {
+		enc := EncodeIntList(items)
+		got := ParseIntList(enc)
+		if len(got) != len(items) {
+			t.Fatalf("round trip of %v via %q = %v", items, enc, got)
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				t.Fatalf("round trip of %v via %q = %v", items, enc, got)
+			}
+		}
+	}
+	if got := EncodeIntList(nil); got != "" {
+		t.Fatalf("EncodeIntList(nil) = %q, want empty", got)
+	}
+	if got := ParseIntList(""); got != nil {
+		t.Fatalf("ParseIntList(\"\") = %v, want nil", got)
+	}
+	// Malformed elements are skipped, not fatal: a damaged watermark loses
+	// items, it does not poison the journal.
+	if got := ParseIntList("1,x,3"); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ParseIntList with junk = %v", got)
+	}
+}
+
 func TestFrameRoundTripOverBuffer(t *testing.T) {
 	var buf bytes.Buffer
 	msgs := []Message{sampleMessage(), {Kind: "ack"}, {Kind: "result", Final: true}}

@@ -15,6 +15,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Message is the generic envelope exchanged between the visualization
@@ -267,4 +269,37 @@ func (m *Message) IntParam(key string, def int) int {
 		return def
 	}
 	return i
+}
+
+// EncodeIntList renders an integer list as a compact comma-separated param
+// value — the wire form of block spans and completion watermarks. The empty
+// list encodes as "" and round-trips through ParseIntList.
+func EncodeIntList(items []int) string {
+	var b strings.Builder
+	for i, v := range items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// ParseIntList parses a comma-separated integer list produced by
+// EncodeIntList, skipping malformed elements so a damaged param degrades to
+// a shorter list instead of an error.
+func ParseIntList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	items := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			continue
+		}
+		items = append(items, v)
+	}
+	return items
 }

@@ -42,9 +42,9 @@ func (SimpleIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	isoVal := ctx.FloatParam("iso", 0)
 	step := ctx.StepParam()
 	out := &mesh.Mesh{}
-	for _, blk := range ctx.AssignedBlocks(nil) {
-		if ctx.Cancelled() {
-			return nil, core.ErrCancelled
+	for _, blk := range ctx.SpanBlocks(nil, false) {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
 		}
 		b, err := ctx.LoadRaw(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
 		if err != nil {
@@ -52,6 +52,7 @@ func (SimpleIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		}
 		res := iso.ExtractBlock(b, field, isoVal, out)
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+		ctx.BlockDone(blk)
 	}
 	return out, nil
 }
@@ -71,11 +72,11 @@ func (IsoDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	step := ctx.StepParam()
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
 	useIndex := ctx.IndexEnabled()
-	blocks := ctx.AssignedBlocks(nil)
+	blocks := ctx.SpanBlocks(nil, false)
 	out := &mesh.Mesh{}
 	for i, blk := range blocks {
-		if ctx.Cancelled() {
-			return nil, core.ErrCancelled
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
 		}
 		if doPrefetch && i+1 < len(blocks) {
 			next := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]}
@@ -90,6 +91,7 @@ func (IsoDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			// Whole-block test on a cached index: a block whose field range
 			// excludes iso contributes nothing, so skip even loading it.
 			if idx, ok := ctx.CachedMinMax(bid, field); ok && idx.BlockExcludes(isoVal) {
+				ctx.BlockDone(blk)
 				ctx.Progress(i+1, len(blocks))
 				continue
 			}
@@ -109,6 +111,7 @@ func (IsoDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			res = iso.ExtractBlock(b, field, isoVal, out)
 		}
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+		ctx.BlockDone(blk)
 		ctx.Progress(i+1, len(blocks))
 	}
 	return out, nil
@@ -138,9 +141,11 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		Z: ctx.FloatParam("ez", 0),
 	}
 	useIndex := ctx.IndexEnabled()
+	journaled := ctx.Journaling()
 	order, releaseOrder := frontToBackOrder(ctx, step, eye)
 	pending := mesh.Acquire()
 	var ex *iso.Extractor // rebound per block, invalidated on flush
+	curBlock := -1        // block being extracted, for journal-mode tagging
 	flush := func(force bool) error {
 		if pending.NumTriangles() == 0 {
 			return nil
@@ -148,7 +153,15 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		if !force && pending.NumTriangles() < granularity {
 			return nil
 		}
-		err := ctx.StreamPartial(pending)
+		var err error
+		if journaled {
+			// Journal mode force-flushes at block boundaries, so every
+			// packet holds one block's triangles and can carry its tag —
+			// the client reassembles them in canonical block order.
+			err = ctx.StreamBlock(curBlock, pending)
+		} else {
+			err = ctx.StreamPartial(pending)
+		}
 		// The packet is encoded; refill the same allocation and drop the
 		// vertex cache that indexed into it.
 		pending.Reset()
@@ -158,12 +171,13 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		return err
 	}
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
-	blocks := ctx.AssignedBlocks(order)
+	blocks := ctx.SpanBlocks(order, true)
 	releaseOrder()
 	for i, blk := range blocks {
-		if ctx.Cancelled() {
-			return nil, core.ErrCancelled
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
 		}
+		curBlock = blk
 		if doPrefetch && i+1 < len(blocks) {
 			// OBL-style code prefetch of the next block in view order.
 			next := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]}
@@ -176,6 +190,7 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
 		if useIndex {
 			if idx, ok := ctx.CachedMinMax(bid, field); ok && idx.BlockExcludes(isoVal) {
+				ctx.BlockDone(blk)
 				continue // provably empty: skip the load
 			}
 		}
@@ -185,6 +200,7 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		}
 		vals, ok := b.Scalars[field]
 		if !ok {
+			ctx.BlockDone(blk)
 			continue
 		}
 		// The per-block BSP tree: rebuilt (and priced) every run on the
@@ -218,6 +234,15 @@ func (ViewerIso) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		})
 		if streamErr != nil {
 			return nil, streamErr
+		}
+		if journaled {
+			// Close out the block: its remaining triangles go out as its
+			// own tagged packet, then the watermark advances. A crash after
+			// this point never recomputes the block.
+			if err := flush(true); err != nil {
+				return nil, err
+			}
+			ctx.BlockDone(blk)
 		}
 	}
 	err := flush(true)

@@ -91,14 +91,14 @@ func tracePathlines(ctx *core.Ctx, prov tracer.Provider) (*mesh.Mesh, error) {
 			}
 		}
 	}
-	lo, hi := core.AssignedSlice(len(seeds), ctx.Rank, ctx.GroupSize)
-	for _, seed := range seeds[lo:hi] {
-		if ctx.Cancelled() {
-			return nil, core.ErrCancelled
-		}
-		if err := traceOne(seed); err != nil {
+	for _, i := range ctx.SpanSlice(len(seeds)) {
+		if err := ctx.Interrupted(); err != nil {
 			return nil, err
 		}
+		if err := traceOne(seeds[i]); err != nil {
+			return nil, err
+		}
+		ctx.BlockDone(i)
 	}
 	return out, nil
 }

@@ -56,7 +56,10 @@ func (SimpleVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	thresh := ctx.FloatParam("lambda2", 0)
 	step := ctx.StepParam()
 	out := &mesh.Mesh{}
-	for _, blk := range ctx.AssignedBlocks(nil) {
+	for _, blk := range ctx.SpanBlocks(nil, false) {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		b, err := ctx.LoadRaw(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk})
 		if err != nil {
 			return nil, err
@@ -67,6 +70,7 @@ func (SimpleVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		res := iso.ExtractRange(b, vals, thresh, r, out)
 		vortex.ReleaseField(vals)
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+		ctx.BlockDone(blk)
 	}
 	return out, nil
 }
@@ -85,11 +89,11 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	step := ctx.StepParam()
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
 	useIndex := ctx.IndexEnabled()
-	blocks := ctx.AssignedBlocks(nil)
+	blocks := ctx.SpanBlocks(nil, false)
 	out := &mesh.Mesh{}
 	for i, blk := range blocks {
-		if ctx.Cancelled() {
-			return nil, core.ErrCancelled
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
 		}
 		if doPrefetch && i+1 < len(blocks) {
 			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
@@ -100,6 +104,7 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			// the block holds no vortex surface: skip the load, the λ2
 			// recomputation and the scan in one O(1) test.
 			if idx, ok := ctx.CachedMinMax(bid, l2Field); ok && idx.BlockExcludes(thresh) {
+				ctx.BlockDone(blk)
 				ctx.Progress(i+1, len(blocks))
 				continue
 			}
@@ -124,6 +129,7 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		}
 		release()
 		ctx.Charge(ctx.Cost.IsoCost(res.CellsVisited, res.Triangles))
+		ctx.BlockDone(blk)
 		ctx.Progress(i+1, len(blocks))
 	}
 	return out, nil
@@ -145,10 +151,10 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 	batch := ctx.IntParam("cellbatch", 256)
 	doPrefetch := ctx.IntParam("prefetch", 1) != 0
 	useIndex := ctx.IndexEnabled()
-	blocks := ctx.AssignedBlocks(nil)
+	blocks := ctx.SpanBlocks(nil, true)
 	for i, blk := range blocks {
-		if ctx.Cancelled() {
-			return nil, core.ErrCancelled
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
 		}
 		if doPrefetch && i+1 < len(blocks) {
 			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
@@ -162,6 +168,7 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		if useIndex {
 			if cached, ok := ctx.CachedMinMax(bid, l2Field); ok {
 				if cached.BlockExcludes(thresh) {
+					ctx.BlockDone(blk)
 					continue // provably empty: skip the load entirely
 				}
 				idx = cached
@@ -193,7 +200,9 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			if part.NumTriangles() == 0 {
 				return nil
 			}
-			err := ctx.StreamPartial(part)
+			// The lazy scan never crosses block boundaries within a packet,
+			// so journal mode can tag every packet with its block as-is.
+			err := ctx.StreamBlock(blk, part)
 			// The packet is encoded; restart the same mesh for the next
 			// batch and drop the edge cache that pointed into it.
 			part.Reset()
@@ -235,6 +244,7 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctx.BlockDone(blk)
 	}
 	return nil, nil // everything streamed
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -115,12 +116,38 @@ func (c *Client) Submit(command string, params map[string]string) (uint64, error
 // request, re-streamed packets are deduplicated by (rank, sequence) and a
 // superseded attempt's output is discarded wholesale, so the assembled
 // geometry matches a fault-free run.
+//
+// Block-tagged partials (journaled recovery mode) are deduplicated by
+// (block, bseq) instead — a redistributed span restarts the producer's
+// sequence numbers, so only the block identity is stable — and assembled
+// into Merged in canonical (block, bseq) order at finalization, so the
+// merged geometry is byte-identical across recovery timelines.
 func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 	res := &RunResult{ReqID: reqID, Merged: &mesh.Mesh{}, SubmittedAt: c.rt.Clock.Now()}
 	defer func() { c.done[reqID] = true }()
 	attempt := 0
 	type packetKey struct{ rank, seq int }
+	type blockKey struct{ block, bseq int }
 	seen := map[packetKey]bool{}
+	tagged := map[blockKey]*mesh.Mesh{}
+	assembleTagged := func() {
+		if len(tagged) == 0 {
+			return
+		}
+		keys := make([]blockKey, 0, len(tagged))
+		for k := range tagged {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].block != keys[j].block {
+				return keys[i].block < keys[j].block
+			}
+			return keys[i].bseq < keys[j].bseq
+		})
+		for _, k := range keys {
+			res.Merged.Append(tagged[k])
+		}
+	}
 	handle := func(sm stamped) (done bool, err error) {
 		m := sm.msg
 		if m.Kind == "partial" {
@@ -145,9 +172,32 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			res.Packets = nil
 			res.Merged = &mesh.Mesh{}
 			seen = map[packetKey]bool{}
+			tagged = map[blockKey]*mesh.Mesh{}
 		}
 		switch m.Kind {
 		case "partial":
+			if bv, ok := m.Params["block"]; ok {
+				block, cerr := strconv.Atoi(bv)
+				if cerr != nil {
+					return false, fmt.Errorf("core: bad block tag %q", bv)
+				}
+				key := blockKey{block: block, bseq: m.IntParam("bseq", 0)}
+				if _, dup := tagged[key]; dup {
+					res.Duplicates++
+					return false, nil
+				}
+				part, derr := mesh.DecodeBinary(m.Payload)
+				if derr != nil {
+					return false, fmt.Errorf("core: corrupt partial: %w", derr)
+				}
+				if res.Partials == 0 && res.FirstAt == 0 {
+					res.FirstAt = sm.at
+				}
+				tagged[key] = part
+				res.Partials++
+				res.Packets = append(res.Packets, part)
+				return false, nil
+			}
 			key := packetKey{rank: m.IntParam("rank", 0), seq: m.Seq}
 			if seen[key] {
 				res.Duplicates++
@@ -173,6 +223,7 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			if res.FirstAt == 0 && final.NumTriangles() > 0 {
 				res.FirstAt = sm.at
 			}
+			assembleTagged()
 			res.Merged.Append(final)
 			res.FinalAt = sm.at
 			res.Attempt = attempt
@@ -200,6 +251,7 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			default:
 				res.Err = fmt.Errorf("core: remote error: %s", m.Params["error"])
 			}
+			assembleTagged()
 			res.FinalAt = sm.at
 			res.Attempt = attempt
 			if res.FirstAt == 0 {

@@ -53,6 +53,7 @@ type Ctx struct {
 	streams  int
 	attempt  int // recovery attempt this execution belongs to
 	uncached int // demand loads served without a cache hit (degraded path)
+	blockSeq map[int]int // per-block packet counter for block-tagged streaming
 }
 
 // ErrCancelled is returned by commands that observed a client cancellation
@@ -60,10 +61,39 @@ type Ctx struct {
 // order to continue the investigation at another point").
 var ErrCancelled = errors.New("core: request cancelled by client")
 
+// ErrSuperseded is returned by commands whose execution lost a straggler
+// speculation race: another worker finished the same span first, so this
+// run's remaining output is worthless.
+var ErrSuperseded = errors.New("core: execution superseded by speculative copy")
+
 // Cancelled reports whether the client cancelled this request. Commands
 // poll it at natural boundaries (per block, per batch) and return
 // ErrCancelled to stop early.
 func (c *Ctx) Cancelled() bool { return c.rt.isCancelled(c.Req.ReqID) }
+
+// Superseded reports whether this execution lost a speculation race (the
+// scheduler accepted another worker's completion of the same rank).
+func (c *Ctx) Superseded() bool {
+	return c.rt.isSuperseded(c.Req.ReqID, c.Rank, c.worker.node)
+}
+
+// Interrupted is the per-item poll for commands: it returns ErrCancelled or
+// ErrSuperseded when this execution should stop early, nil otherwise.
+func (c *Ctx) Interrupted() error {
+	if c.Cancelled() {
+		return ErrCancelled
+	}
+	if c.Superseded() {
+		return ErrSuperseded
+	}
+	return nil
+}
+
+// Journaling reports whether this request runs in block-granular recovery
+// mode: the scheduler set journal=1 on the start message, commands declare
+// explicit work spans and report per-block completion watermarks, and
+// streamed partials are block-tagged.
+func (c *Ctx) Journaling() bool { return c.IntParam("journal", 0) != 0 }
 
 // Proxy returns this worker's DMS proxy.
 func (c *Ctx) Proxy() *dms.Proxy { return c.worker.proxy }
@@ -73,9 +103,14 @@ func (c *Ctx) Clock() interface{ Now() time.Duration } { return c.rt.Clock }
 
 // Charge prices d of computation to this worker (virtual time) and adds it
 // to the compute probe. Like every Ctx method that parks the actor, it is a
-// crash point: a worker that fail-stopped mid-charge never returns.
+// crash point: a worker that fail-stopped mid-charge never returns. An
+// injected lag: fault rule stretches the node's charges by its factor — the
+// deterministic straggler.
 func (c *Ctx) Charge(d time.Duration) {
 	if d > 0 {
+		if f := c.rt.faults.ComputeFactor(c.worker.node); f != 1 {
+			d = time.Duration(float64(d) * f)
+		}
 		c.rt.Clock.Sleep(d)
 		c.worker.checkCrashed()
 		c.probes.Compute += d
@@ -218,15 +253,39 @@ func (c *Ctx) BSPTree(b *grid.Block, field string) *grid.BSPTree {
 // sender's rank, per-rank sequence number and attempt, so the client can
 // discard the duplicates a rank retry re-streams.
 func (c *Ctx) StreamPartial(m *mesh.Mesh) error {
+	return c.streamPartial(m, 0, 0, false)
+}
+
+// StreamBlock ships one block's partial result with a (block, bseq) tag, the
+// block-granular streaming path of journal mode: the client dedupes by tag,
+// so redistribution or speculation re-streaming an already-delivered block
+// never double-counts it, and assembles tagged packets in canonical block
+// order for a byte-stable merged mesh. Outside journal mode it degrades to a
+// plain StreamPartial.
+func (c *Ctx) StreamBlock(item int, m *mesh.Mesh) error {
+	if !c.Journaling() {
+		return c.StreamPartial(m)
+	}
+	if c.blockSeq == nil {
+		c.blockSeq = map[int]int{}
+	}
+	bseq := c.blockSeq[item]
+	c.blockSeq[item] = bseq + 1
+	return c.streamPartial(m, item, bseq, true)
+}
+
+func (c *Ctx) streamPartial(m *mesh.Mesh, block, bseq int, tagged bool) error {
 	c.worker.checkCrashed()
 	// Backpressure: take a stream credit before sending. A producer whose
 	// window is exhausted parks here until the client acks a packet; one
 	// that stays parked past the slow-consumer deadline cancels the whole
-	// request instead of buffering unboundedly.
+	// request instead of buffering unboundedly. A superseded producer is
+	// woken like a cancelled one so it cannot park through the verdict.
 	window := c.IntParam("stream_window", c.rt.cfg.Overload.StreamWindow)
 	if window > 0 {
 		err := c.rt.flow.Acquire(c.Req.ReqID, c.Rank, window,
-			c.rt.cfg.Overload.SlowConsumerAfter, c.Cancelled)
+			c.rt.cfg.Overload.SlowConsumerAfter,
+			func() bool { return c.Cancelled() || c.Superseded() })
 		c.worker.checkCrashed()
 		if errors.Is(err, ErrSlowConsumer) {
 			c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
@@ -236,6 +295,9 @@ func (c *Ctx) StreamPartial(m *mesh.Mesh) error {
 			return err
 		}
 		if err != nil {
+			if c.Superseded() {
+				return ErrSuperseded
+			}
 			return err
 		}
 	}
@@ -252,6 +314,10 @@ func (c *Ctx) StreamPartial(m *mesh.Mesh) error {
 			"attempt": strconv.Itoa(c.attempt),
 		},
 		Payload: m.EncodeBinary(),
+	}
+	if tagged {
+		msg.Params["block"] = strconv.Itoa(block)
+		msg.Params["bseq"] = strconv.Itoa(bseq)
 	}
 	start := c.rt.Clock.Now()
 	err := c.worker.ep.Send(c.ClientEndpoint(), msg)
@@ -320,6 +386,144 @@ func AssignedSlice(total, rank, groupSize int) (lo, hi int) {
 	lo = total * rank / groupSize
 	hi = total * (rank + 1) / groupSize
 	return
+}
+
+// SpanItems resolves this execution's work span over total items: an
+// explicit "span" parameter (set by the scheduler when re-issuing a dead or
+// straggling rank's unfinished blocks) wins; otherwise the usual round-robin
+// share. order, when non-nil, permutes the items first and also orders an
+// explicit span (e.g. front-to-back). In journal mode the span is declared
+// to the scheduler's progress journal; streamed says whether completed items
+// are delivered to the client as they finish (so only unfinished ones need
+// recomputing on failure) or held in this worker's memory until the gather
+// (so a failure loses the whole span).
+func (c *Ctx) SpanItems(total int, order []int, streamed bool) []int {
+	items := c.spanItems(total, order)
+	c.declareSpan(items, streamed)
+	return items
+}
+
+// SpanBlocks is SpanItems over the data set's blocks of one time step.
+func (c *Ctx) SpanBlocks(order []int, streamed bool) []int {
+	return c.SpanItems(c.Dataset.Blocks, order, streamed)
+}
+
+// SpanSlice is the span-aware AssignedSlice: an explicit re-issued span
+// wins, otherwise the contiguous share. The result is item indices, not a
+// [lo, hi) pair. Delivery is gathered (pathline traces travel with the final
+// merge), so recovery re-runs the whole span.
+func (c *Ctx) SpanSlice(total int) []int {
+	if v, ok := c.Req.Params["span"]; ok {
+		items := comm.ParseIntList(v)
+		c.declareSpan(items, false)
+		return items
+	}
+	lo, hi := AssignedSlice(total, c.Rank, c.GroupSize)
+	items := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		items = append(items, i)
+	}
+	c.declareSpan(items, false)
+	return items
+}
+
+func (c *Ctx) spanItems(total int, order []int) []int {
+	if v, ok := c.Req.Params["span"]; ok {
+		span := comm.ParseIntList(v)
+		if order == nil {
+			return span
+		}
+		// Re-issued spans honor the caller's traversal order (e.g.
+		// front-to-back): walk the permutation and keep the span members.
+		in := make(map[int]bool, len(span))
+		for _, it := range span {
+			in[it] = true
+		}
+		out := make([]int, 0, len(span))
+		for _, it := range order {
+			if in[it] {
+				out = append(out, it)
+				delete(in, it)
+			}
+		}
+		for _, it := range span {
+			if in[it] {
+				out = append(out, it)
+			}
+		}
+		return out
+	}
+	var out []int
+	for i := 0; i < total; i++ {
+		b := i
+		if order != nil && i < len(order) {
+			b = order[i]
+		}
+		if i%c.GroupSize == c.Rank {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// declareSpan reports the resolved span to the scheduler's progress journal
+// and arms the worker's heartbeat watermark piggyback. A no-op outside
+// journal mode, so span-aware commands cost nothing when recovery is
+// rank-granular.
+func (c *Ctx) declareSpan(items []int, streamed bool) {
+	if !c.Journaling() {
+		return
+	}
+	c.worker.checkCrashed()
+	c.worker.beginJournal(c.Req.ReqID, c.Rank, c.attempt)
+	st := "0"
+	if streamed {
+		st = "1"
+	}
+	msg := comm.Message{
+		Kind:    "wspan",
+		Command: c.Req.Command,
+		ReqID:   c.Req.ReqID,
+		Params: map[string]string{
+			"worker":   c.worker.node,
+			"rank":     strconv.Itoa(c.Rank),
+			"attempt":  strconv.Itoa(c.attempt),
+			"span":     comm.EncodeIntList(items),
+			"streamed": st,
+		},
+	}
+	if err := c.worker.ep.Send("scheduler", msg); err != nil {
+		c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
+			"req %d: span declaration send failed: %v", c.Req.ReqID, err)
+	}
+}
+
+// BlockDone records one completed span item in the scheduler's progress
+// journal (an eager watermark message; heartbeats re-carry the cumulative
+// set in case it is lost). Streaming commands call it after the item's
+// partials went out, gathered ones after the item's result is merged into
+// the worker-local partial. A no-op outside journal mode.
+func (c *Ctx) BlockDone(item int) {
+	if !c.Journaling() {
+		return
+	}
+	c.worker.checkCrashed()
+	c.worker.markDone(item)
+	msg := comm.Message{
+		Kind:    "wmark",
+		Command: c.Req.Command,
+		ReqID:   c.Req.ReqID,
+		Params: map[string]string{
+			"worker":  c.worker.node,
+			"rank":    strconv.Itoa(c.Rank),
+			"attempt": strconv.Itoa(c.attempt),
+			"item":    strconv.Itoa(item),
+		},
+	}
+	if err := c.worker.ep.Send("scheduler", msg); err != nil {
+		c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
+			"req %d: watermark send failed: %v", c.Req.ReqID, err)
+	}
 }
 
 // Param reads a string parameter from the request.

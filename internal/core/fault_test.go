@@ -69,6 +69,8 @@ func newFaultRuntime(t *testing.T, v vclock.Clock, workers int, plan *faults.Pla
 	rt.Register(loadCmd{})
 	rt.Register(crunchCmd{})
 	rt.Register(cancelPollCmd{})
+	rt.Register(spanStreamCmd{})
+	rt.Register(spanGatherCmd{})
 	rt.Start()
 	return rt
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// blockJournal is the scheduler-side progress journal of one journaled
+// request: which span items each rank was assigned and which it has
+// completed. It is fed by three worker message streams — "wspan" (span
+// declaration at command start), "wmark" (eager per-item watermark) and the
+// cumulative watermark piggybacked on heartbeats — and consulted by the
+// redistribution planner (only a dead rank's unfinished items are re-issued)
+// and the straggler detector (per-rank completion counts against the group
+// median). All access happens under the scheduler mutex.
+type blockJournal struct {
+	spans    map[int]map[int]bool // rank → assigned span items (union across re-issues)
+	done     map[int]map[int]bool // rank → completed span items
+	streamed map[int]bool         // rank → completed items were delivered to the client
+}
+
+func newBlockJournal() *blockJournal {
+	return &blockJournal{
+		spans:    map[int]map[int]bool{},
+		done:     map[int]map[int]bool{},
+		streamed: map[int]bool{},
+	}
+}
+
+// noteSpan records a rank's declared span. Re-issued spans (a survivor
+// taking over unfinished items, a speculative copy) union into the existing
+// record, so completion marks from the first incarnation keep counting.
+func (j *blockJournal) noteSpan(rank int, items []int, streamed bool) {
+	set := j.spans[rank]
+	if set == nil {
+		set = make(map[int]bool, len(items))
+		j.spans[rank] = set
+	}
+	for _, it := range items {
+		set[it] = true
+	}
+	j.streamed[rank] = streamed
+}
+
+// markDone records the completion of one span item by a rank. Marks for
+// items outside the declared span are ignored (stale or damaged watermark).
+func (j *blockJournal) markDone(rank, item int) {
+	if !j.spans[rank][item] {
+		return
+	}
+	set := j.done[rank]
+	if set == nil {
+		set = map[int]bool{}
+		j.done[rank] = set
+	}
+	set[item] = true
+}
+
+// declared reports whether the rank has declared a span.
+func (j *blockJournal) declared(rank int) bool { return j.spans[rank] != nil }
+
+// doneCount reports how many span items the rank has completed.
+func (j *blockJournal) doneCount(rank int) int { return len(j.done[rank]) }
+
+// unfinished plans the re-issue span for a rank: the sorted span items not
+// yet completed when completed items were streamed to the client, or the
+// whole sorted span when they were gathered (a gathered rank's completed
+// work lives in the failed worker's memory and died with it — the journal
+// still powered straggler detection, but recovery must redo the span).
+func (j *blockJournal) unfinished(rank int) []int {
+	span := j.spans[rank]
+	if span == nil {
+		return nil
+	}
+	done := j.done[rank]
+	items := make([]int, 0, len(span))
+	for it := range span {
+		if j.streamed[rank] && done[it] {
+			continue
+		}
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	return items
+}
+
+// medianDone is the straggler detector's yardstick: the median per-rank
+// completion count across ranks that declared spans (upper median for even
+// group sizes, so a two-rank group compares the laggard against the leader).
+func (j *blockJournal) medianDone() (int, bool) {
+	counts := make([]int, 0, len(j.spans))
+	for rank := range j.spans {
+		counts = append(counts, j.doneCount(rank))
+	}
+	if len(counts) < 2 {
+		return 0, false
+	}
+	sort.Ints(counts)
+	return counts[len(counts)/2], true
+}
+
+// CheckInvariants verifies the scheduler's worker-state bookkeeping: the
+// free list holds only free workers without duplicates, every busy ref
+// points at a worker in the busy state, and dead workers appear in neither
+// set. Transients are deliberately tolerated — an old-attempt executor stays
+// busy until its stale completion arrives, and a superseded speculation
+// loser may outlive the request it raced on. The fault-scenario and soak
+// suites call it after every recovery timeline; a violation means a
+// redispatch or declareDead interleaving resurrected stale state.
+func (s *Scheduler) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	for _, n := range s.free {
+		if seen[n] {
+			return fmt.Errorf("core: free list holds %s twice", n)
+		}
+		seen[n] = true
+		if st := s.state[n]; st != wsFree {
+			return fmt.Errorf("core: free list holds %s in state %d", n, st)
+		}
+		if _, busy := s.busy[n]; busy {
+			return fmt.Errorf("core: %s is both free and busy", n)
+		}
+	}
+	for n, ref := range s.busy {
+		if st := s.state[n]; st != wsBusy {
+			return fmt.Errorf("core: busy ref for %s in state %d", n, st)
+		}
+		if ar := s.active[ref.reqID]; ar != nil && (ref.rank < 0 || ref.rank >= len(ar.members)) {
+			return fmt.Errorf("core: %s busy with req %d rank %d out of range", n, ref.reqID, ref.rank)
+		}
+	}
+	for n, st := range s.state {
+		if st != wsDead {
+			continue
+		}
+		if seen[n] {
+			return fmt.Errorf("core: dead worker %s on the free list", n)
+		}
+		if _, busy := s.busy[n]; busy {
+			return fmt.Errorf("core: dead worker %s still busy", n)
+		}
+	}
+	return nil
+}

@@ -42,6 +42,18 @@ type FTConfig struct {
 	RetryBackoff time.Duration
 	// MaxBackoff caps the exponential backoff; <= 0 means uncapped.
 	MaxBackoff time.Duration
+	// Redistribute turns block-granular recovery on by default: requests run
+	// in journal mode (the scheduler tracks per-rank completed-block
+	// watermarks) and a dead rank costs only its unfinished blocks, re-issued
+	// to a survivor under the same attempt. Requests override with the
+	// "redistribute" parameter. Off keeps the PR-1 whole-rank recovery.
+	Redistribute bool
+	// StragglerFactor enables speculative straggler re-execution for
+	// journaled requests: a rank whose completed-block count times this
+	// factor is still below the group median gets its remaining span
+	// re-issued to an idle worker; the first completion wins and the loser is
+	// superseded. <= 1 disables speculation.
+	StragglerFactor float64
 }
 
 // DefaultFTConfig returns the fault-tolerance defaults: 250ms heartbeats,
@@ -119,13 +131,22 @@ type Runtime struct {
 	faults *faults.Injector
 	flow   *flowControl
 
-	mu        sync.Mutex
-	registry  map[string]Command
-	devices   map[string]*storage.Device
-	dynamic   map[uint64]*dynQueue
-	cancelled map[uint64]bool
-	reqSeq    uint64
-	clientSeq uint64
+	mu         sync.Mutex
+	registry   map[string]Command
+	devices    map[string]*storage.Device
+	dynamic    map[uint64]*dynQueue
+	cancelled  map[uint64]bool
+	superseded map[uint64]map[specKey]bool
+	reqSeq     uint64
+	clientSeq  uint64
+}
+
+// specKey identifies one execution of a rank for supersede tracking: during
+// speculation the same (request, rank) runs on two nodes at once, and only
+// the loser's execution is marked.
+type specKey struct {
+	rank int
+	node string
 }
 
 // NewRuntime assembles (but does not start) a runtime on the given clock.
@@ -144,10 +165,11 @@ func NewRuntime(c vclock.Clock, cfg Config) *Runtime {
 		cfg:       cfg,
 		faults:    cfg.Faults,
 		flow:      newFlowControl(c),
-		registry:  map[string]Command{},
-		devices:   map[string]*storage.Device{},
-		dynamic:   map[uint64]*dynQueue{},
-		cancelled: map[uint64]bool{},
+		registry:   map[string]Command{},
+		devices:    map[string]*storage.Device{},
+		dynamic:    map[uint64]*dynQueue{},
+		cancelled:  map[uint64]bool{},
+		superseded: map[uint64]map[specKey]bool{},
 	}
 	if cfg.Faults != nil {
 		// Guarded so a nil *faults.Injector never becomes a non-nil
@@ -233,6 +255,52 @@ func (rt *Runtime) isCancelled(reqID uint64) bool {
 func (rt *Runtime) clearCancelled(reqID uint64) {
 	rt.mu.Lock()
 	delete(rt.cancelled, reqID)
+	rt.mu.Unlock()
+}
+
+// markSuperseded flags one execution of a rank as the loser of a speculation
+// race; the running command observes it via Ctx.Superseded at its next poll
+// point and aborts. Producers parked on stream credit are woken, like on
+// cancellation, so the flag cannot be slept through.
+func (rt *Runtime) markSuperseded(reqID uint64, rank int, node string) {
+	rt.mu.Lock()
+	set := rt.superseded[reqID]
+	if set == nil {
+		set = map[specKey]bool{}
+		rt.superseded[reqID] = set
+	}
+	set[specKey{rank: rank, node: node}] = true
+	rt.mu.Unlock()
+	rt.flow.wake(reqID)
+}
+
+// isSuperseded reports whether this node's execution of the rank lost a
+// speculation race.
+func (rt *Runtime) isSuperseded(reqID uint64, rank int, node string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.superseded[reqID][specKey{rank: rank, node: node}]
+}
+
+// clearSuperseded drops all supersede flags of a request (on a full restart:
+// a new attempt's executor must not inherit a dead race's verdict).
+func (rt *Runtime) clearSuperseded(reqID uint64) {
+	rt.mu.Lock()
+	delete(rt.superseded, reqID)
+	rt.mu.Unlock()
+}
+
+// clearSupersededNode retires one supersede flag once its loser has observed
+// the verdict and reported back; the flags outlive the request itself for
+// exactly this long.
+func (rt *Runtime) clearSupersededNode(reqID uint64, rank int, node string) {
+	rt.mu.Lock()
+	if set := rt.superseded[reqID]; set != nil {
+		delete(set, specKey{rank: rank, node: node})
+		if len(set) == 0 {
+			delete(rt.superseded, reqID)
+		}
+	}
 	rt.mu.Unlock()
 }
 

@@ -34,6 +34,16 @@ type RequestStats struct {
 	// path: the memory budget was exhausted and eviction could not make
 	// room, so the block was handed to the command without being cached.
 	Uncached int
+	// Redistributions counts block-granular failovers: a dead rank's
+	// unfinished span re-issued to a survivor under the same attempt.
+	Redistributions int
+	// SpeculativeRuns counts straggler speculations: a laggard rank's
+	// remaining span re-issued to an idle worker, first completion winning.
+	SpeculativeRuns int
+	// BlocksRecomputed totals the span items re-issued by redistributions
+	// and speculations — the measurable cost of recovery. A crash in journal
+	// mode recomputes at most the dead rank's unfinished blocks.
+	BlocksRecomputed int
 }
 
 // TotalRuntime is the paper's "total runtime": dispatch to completion.
@@ -54,11 +64,16 @@ type busyRef struct {
 }
 
 // redispatch is a queued recovery action: re-run one rank of an attempt, or
-// restart the whole request (rank < 0) under a new attempt number.
+// restart the whole request (rank < 0) under a new attempt number. When the
+// progress journal planned a block-granular recovery, span carries the
+// unfinished items to re-issue (hasSpan distinguishes an empty plan — all
+// blocks delivered, only the rank's report missing — from no plan at all).
 type redispatch struct {
 	reqID   uint64
 	attempt int
 	rank    int
+	span    []int
+	hasSpan bool
 }
 
 // outMsg is a send the scheduler decided on under its lock but performs
@@ -110,6 +125,17 @@ type activeReq struct {
 	doneCount  int
 	retries    int
 	maxRetries int
+	// journaled marks block-granular recovery mode: workers declare spans
+	// and watermarks, journal is built from them (lazily, on the first
+	// declaration), and failover redistributes unfinished blocks instead of
+	// re-running whole ranks.
+	journaled bool
+	journal   *blockJournal
+	// specNode maps a rank to the node running its speculative copy while a
+	// straggler race is in flight; specTried remembers ranks that already
+	// got their one speculation.
+	specNode  map[int]string
+	specTried map[int]bool
 }
 
 func (ar *activeReq) clientName() string {
@@ -170,6 +196,10 @@ func (s *Scheduler) loop() {
 			if s.maybeFinish() {
 				return
 			}
+		case "wspan":
+			s.noteSpan(m)
+		case "wmark":
+			s.noteMark(m)
 		case "hb":
 			s.noteHeartbeat(m)
 			s.pump()
@@ -177,12 +207,17 @@ func (s *Scheduler) loop() {
 				return
 			}
 		case "redispatch":
-			s.mu.Lock()
-			s.redisQ = append(s.redisQ, redispatch{
+			rd := redispatch{
 				reqID:   m.ReqID,
 				attempt: m.IntParam("attempt", 0),
 				rank:    m.IntParam("rank", -1),
-			})
+			}
+			if v, ok := m.Params["span"]; ok {
+				rd.span = comm.ParseIntList(v)
+				rd.hasSpan = true
+			}
+			s.mu.Lock()
+			s.redisQ = append(s.redisQ, rd)
 			s.mu.Unlock()
 			s.pump()
 			if s.maybeFinish() {
@@ -437,6 +472,9 @@ func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
 			members:    members,
 			done:       make([]bool, want),
 			maxRetries: req.IntParam("retries", s.rt.cfg.FT.MaxRetries),
+			journaled:  s.journalMode(req),
+			specNode:   map[int]string{},
+			specTried:  map[int]bool{},
 		}
 		s.active[req.ReqID] = ar
 		if degraded {
@@ -451,6 +489,17 @@ func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
 	}
 }
 
+// journalMode decides block-granular recovery for a request: the
+// "redistribute" parameter overrides the server-wide FTConfig.Redistribute
+// default.
+func (s *Scheduler) journalMode(req comm.Message) bool {
+	def := 0
+	if s.rt.cfg.FT.Redistribute {
+		def = 1
+	}
+	return req.IntParam("redistribute", def) != 0
+}
+
 // startMsgLocked builds the "start" command for one rank of the current
 // attempt of ar.
 func (s *Scheduler) startMsgLocked(ar *activeReq, rank int) comm.Message {
@@ -463,9 +512,27 @@ func (s *Scheduler) startMsgLocked(ar *activeReq, rank int) comm.Message {
 	for k, v := range ar.req.Params {
 		start.Params[k] = v
 	}
+	// span and spec are scheduler-owned recovery annotations; a client must
+	// not smuggle them into every rank of a fresh dispatch.
+	delete(start.Params, "span")
+	delete(start.Params, "spec")
 	start.Params["rank"] = strconv.Itoa(rank)
 	start.Params["group"] = ar.group
 	start.Params["attempt"] = strconv.Itoa(ar.attempt)
+	if ar.journaled {
+		start.Params["journal"] = "1"
+	}
+	return start
+}
+
+// startSpanMsgLocked is startMsgLocked with an explicit re-issued work span
+// (block-granular failover or straggler speculation).
+func (s *Scheduler) startSpanMsgLocked(ar *activeReq, rank int, span []int, spec bool) comm.Message {
+	start := s.startMsgLocked(ar, rank)
+	start.Params["span"] = comm.EncodeIntList(span)
+	if spec {
+		start.Params["spec"] = "1"
+	}
 	return start
 }
 
@@ -493,6 +560,14 @@ func (s *Scheduler) noteDone(m comm.Message) {
 		s.lastSeen[node] = s.rt.Clock.Now()
 		s.free = append(s.free, node)
 	}
+	if m.Params["superseded"] == "1" {
+		// A speculation loser's report: the worker returned to the pool
+		// above, but its aborted execution completes nothing. Its flag has
+		// served its purpose (the request may even have finished already).
+		s.rt.clearSupersededNode(m.ReqID, m.IntParam("rank", 0), node)
+		s.mu.Unlock()
+		return
+	}
 	ar, ok := s.active[m.ReqID]
 	if !ok {
 		s.mu.Unlock()
@@ -508,6 +583,21 @@ func (s *Scheduler) noteDone(m comm.Message) {
 	}
 	ar.done[rank] = true
 	ar.doneCount++
+	if spec, racing := ar.specNode[rank]; racing {
+		// First completion wins the speculation race; the other execution of
+		// this rank is superseded and aborts at its next poll point.
+		delete(ar.specNode, rank)
+		loser := spec
+		if node == spec {
+			loser = ar.members[rank]
+			ar.members[rank] = spec
+		}
+		if loser != "" && loser != node {
+			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+				"req %d rank %d: speculation won by %s, superseding %s", m.ReqID, rank, node, loser)
+			s.rt.markSuperseded(m.ReqID, rank, loser)
+		}
+	}
 	ar.stats.Probes.Compute += time.Duration(parseNanos(m.Params["compute_ns"]))
 	ar.stats.Probes.Read += time.Duration(parseNanos(m.Params["read_ns"]))
 	ar.stats.Probes.Send += time.Duration(parseNanos(m.Params["send_ns"]))
@@ -545,6 +635,47 @@ func (s *Scheduler) finishLocked(reqID uint64, ar *activeReq) {
 	s.rt.dropWorkQueue(reqID)
 	s.rt.clearCancelled(reqID)
 	s.rt.flow.drop(reqID)
+	// Supersede flags deliberately survive the request: a speculation loser
+	// may still be running and must observe its verdict to abort; its own
+	// completion report clears the flag (see noteDone).
+}
+
+// noteSpan records a rank's declared work span in the request's progress
+// journal (created lazily on the first declaration of a journaled request).
+func (s *Scheduler) noteSpan(m comm.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ar, ok := s.active[m.ReqID]
+	if !ok || !ar.journaled || m.IntParam("attempt", -1) != ar.attempt {
+		return
+	}
+	rank := m.IntParam("rank", -1)
+	if rank < 0 || rank >= len(ar.done) {
+		return
+	}
+	node := m.Params["worker"]
+	if ar.members[rank] != node && ar.specNode[rank] != node {
+		return // stale declaration from a replaced executor
+	}
+	if ar.journal == nil {
+		ar.journal = newBlockJournal()
+	}
+	ar.journal.noteSpan(rank, comm.ParseIntList(m.Params["span"]), m.Params["streamed"] == "1")
+}
+
+// noteMark records one completed span item (the eager per-block watermark).
+func (s *Scheduler) noteMark(m comm.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ar, ok := s.active[m.ReqID]
+	if !ok || ar.journal == nil || m.IntParam("attempt", -1) != ar.attempt {
+		return
+	}
+	rank := m.IntParam("rank", -1)
+	if rank < 0 || rank >= len(ar.done) {
+		return
+	}
+	ar.journal.markDone(rank, m.IntParam("item", -1))
 }
 
 // noteHeartbeat refreshes the liveness record of the sending worker. A
@@ -563,6 +694,7 @@ func (s *Scheduler) noteHeartbeat(m comm.Message) {
 		return
 	}
 	s.lastSeen[node] = s.rt.Clock.Now()
+	s.applyWatermarkLocked(m)
 	if st == wsBusy && idle {
 		s.idleStreak[node]++
 		if s.idleStreak[node] >= 2 {
@@ -584,8 +716,34 @@ func (s *Scheduler) noteHeartbeat(m comm.Message) {
 	}
 }
 
+// applyWatermarkLocked merges a heartbeat's piggybacked completed-item
+// watermark into the progress journal: redundancy for eagerly-sent wmark
+// messages lost in flight, and the straggler detector's steady data feed.
+func (s *Scheduler) applyWatermarkLocked(m comm.Message) {
+	jr := m.Params["jreq"]
+	if jr == "" {
+		return
+	}
+	reqID, err := strconv.ParseUint(jr, 10, 64)
+	if err != nil {
+		return
+	}
+	ar, ok := s.active[reqID]
+	if !ok || ar.journal == nil || m.IntParam("jattempt", -1) != ar.attempt {
+		return
+	}
+	rank := m.IntParam("jrank", -1)
+	if rank < 0 || rank >= len(ar.done) {
+		return
+	}
+	for _, it := range comm.ParseIntList(m.Params["jmarks"]) {
+		ar.journal.markDone(rank, it)
+	}
+}
+
 // monitor is the failure detector: it wakes every heartbeat interval and
-// declares dead any worker silent for the (clamped) failure window.
+// declares dead any worker silent for the (clamped) failure window. The same
+// tick drives the straggler detector when speculation is enabled.
 func (s *Scheduler) monitor() {
 	every := s.rt.cfg.FT.HeartbeatEvery
 	fail := s.rt.cfg.FT.FailAfter
@@ -607,14 +765,81 @@ func (s *Scheduler) monitor() {
 			}
 		}
 		s.mu.Unlock()
-		if len(suspects) == 0 {
+		if len(suspects) > 0 {
+			sort.Strings(suspects) // deterministic order regardless of map iteration
+			for _, node := range suspects {
+				s.declareDead(node, "no heartbeat for "+fail.String())
+			}
+			s.pump()
+		}
+		s.speculate()
+	}
+}
+
+// speculate is the straggler detector: for every journaled active request it
+// compares per-rank completion watermarks against the group median and
+// re-issues a laggard's remaining span to an idle worker as a speculative
+// copy — same rank, same attempt, first completion wins, the loser is
+// superseded. One speculation per rank per attempt; the master rank is never
+// speculated (its gather cannot move).
+func (s *Scheduler) speculate() {
+	factor := s.rt.cfg.FT.StragglerFactor
+	if factor <= 1 {
+		return
+	}
+	var sends []outMsg
+	s.mu.Lock()
+	ids := make([]uint64, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ar := s.active[id]
+		if ar.journal == nil {
 			continue
 		}
-		sort.Strings(suspects) // deterministic order regardless of map iteration
-		for _, node := range suspects {
-			s.declareDead(node, "no heartbeat for "+fail.String())
+		med, ok := ar.journal.medianDone()
+		if !ok || med < 2 {
+			continue // too early to call anyone a laggard
 		}
-		s.pump()
+		for rank := 1; rank < len(ar.done); rank++ {
+			if len(s.free) == 0 {
+				break
+			}
+			if ar.done[rank] || ar.specTried[rank] || !ar.journal.declared(rank) {
+				continue
+			}
+			if float64(ar.journal.doneCount(rank))*factor >= float64(med) {
+				continue
+			}
+			// The laggard must actually be executing the rank: a rank already
+			// being failed over is the redistribution planner's business.
+			cur := ar.members[rank]
+			if ref, busy := s.busy[cur]; !busy || ref.reqID != id || ref.rank != rank {
+				continue
+			}
+			remaining := ar.journal.unfinished(rank)
+			if len(remaining) == 0 {
+				continue
+			}
+			node := s.free[0]
+			s.free = s.free[1:]
+			s.state[node] = wsBusy
+			s.busy[node] = busyRef{reqID: id, rank: rank}
+			ar.specNode[rank] = node
+			ar.specTried[rank] = true
+			ar.stats.SpeculativeRuns++
+			ar.stats.BlocksRecomputed += len(remaining)
+			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+				"req %d rank %d straggling on %s (%d done vs median %d): speculating %d blocks on %s",
+				id, rank, cur, ar.journal.doneCount(rank), med, len(remaining), node)
+			sends = append(sends, outMsg{to: node, msg: s.startSpanMsgLocked(ar, rank, remaining, true)})
+		}
+	}
+	s.mu.Unlock()
+	for _, o := range sends {
+		s.send(o)
 	}
 }
 
@@ -664,6 +889,24 @@ func (s *Scheduler) failoverRankLocked(node string, reqID uint64, rank int, reas
 	if ar == nil || rank < 0 || rank >= len(ar.done) || ar.done[rank] {
 		return
 	}
+	if spec, racing := ar.specNode[rank]; racing {
+		// The rank is running as a speculation pair; losing either member
+		// leaves the other still executing, so no redispatch is needed (and
+		// no retry is charged).
+		if node == spec {
+			delete(ar.specNode, rank)
+			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+				"req %d rank %d: speculative copy on %s lost, original continues", reqID, rank, node)
+			return
+		}
+		if ar.members[rank] == node {
+			ar.members[rank] = spec
+			delete(ar.specNode, rank)
+			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+				"req %d rank %d: original on %s lost, speculative copy on %s promoted", reqID, rank, node, spec)
+			return
+		}
+	}
 	if ar.members[rank] != node {
 		// Stale busy-ref: a full restart already reassigned this rank to
 		// another worker; there is nothing left to recover for this node.
@@ -680,6 +923,16 @@ func (s *Scheduler) failoverRankLocked(node string, reqID uint64, rank int, reas
 	if rank == 0 || s.rt.hasDynWork(reqID) {
 		ar.attempt++
 		rd = redispatch{reqID: reqID, attempt: ar.attempt, rank: -1}
+	} else if ar.journal != nil && ar.journal.declared(rank) {
+		// Block-granular redistribution: re-issue only what the journal
+		// says the dead rank left unfinished, under the same attempt.
+		rd.span = ar.journal.unfinished(rank)
+		rd.hasSpan = true
+		ar.stats.Redistributions++
+		ar.stats.BlocksRecomputed += len(rd.span)
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+			"req %d rank %d: redistributing %d unfinished blocks (%d journaled done)",
+			reqID, rank, len(rd.span), ar.journal.doneCount(rank))
 	}
 	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
 		"req %d retry %d/%d (%s): attempt %d rank %d after %v", reqID, ar.retries, ar.maxRetries, reason, rd.attempt, rd.rank, delay)
@@ -711,16 +964,22 @@ func (s *Scheduler) scheduleRedispatch(rd redispatch, delay time.Duration) {
 		s.redisQ = append(s.redisQ, rd)
 		return
 	}
+	params := map[string]string{
+		"attempt": strconv.Itoa(rd.attempt),
+		"rank":    strconv.Itoa(rd.rank),
+	}
+	if rd.hasSpan {
+		// Param presence carries hasSpan across the timer round-trip: an
+		// empty redistribution span is still a span, not "no plan".
+		params["span"] = comm.EncodeIntList(rd.span)
+	}
 	s.rt.Clock.Go(func() {
 		s.rt.Clock.Sleep(delay)
 		// ErrDown (scheduler already shut down) just retires the timer.
 		s.tep.Send("scheduler", comm.Message{
-			Kind:  "redispatch",
-			ReqID: rd.reqID,
-			Params: map[string]string{
-				"attempt": strconv.Itoa(rd.attempt),
-				"rank":    strconv.Itoa(rd.rank),
-			},
+			Kind:   "redispatch",
+			ReqID:  rd.reqID,
+			Params: params,
 		})
 	})
 }
@@ -785,15 +1044,29 @@ func (s *Scheduler) drainRedispatchLocked(sends *[]outMsg) {
 			if rd.rank >= len(ar.done) || ar.done[rd.rank] {
 				continue
 			}
+			if cur := ar.members[rd.rank]; s.state[cur] == wsBusy {
+				if ref, busyNow := s.busy[cur]; busyNow && ref.reqID == rd.reqID && ref.rank == rd.rank {
+					// A duplicated or stale recovery action: the rank is
+					// already running on a live worker. Re-dispatching would
+					// plant a second executor and a conflicting busy-ref.
+					s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+						"req %d rank %d redispatch dropped: already running on %s", rd.reqID, rd.rank, cur)
+					continue
+				}
+			}
 			if len(s.free) > 0 {
 				node := s.free[0]
 				s.free = s.free[1:]
 				s.state[node] = wsBusy
 				s.busy[node] = busyRef{reqID: rd.reqID, rank: rd.rank}
 				ar.members[rd.rank] = node
+				start := s.startMsgLocked(ar, rd.rank)
+				if rd.hasSpan {
+					start = s.startSpanMsgLocked(ar, rd.rank, rd.span, false)
+				}
 				s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
 					"req %d rank %d re-dispatched to %s", rd.reqID, rd.rank, node)
-				*sends = append(*sends, outMsg{to: node, msg: s.startMsgLocked(ar, rd.rank)})
+				*sends = append(*sends, outMsg{to: node, msg: start})
 			} else if s.stalledLocked(ar) {
 				// Every live worker is tied up in this same request, so none
 				// will ever free: the master is gathering and waiting for
@@ -850,6 +1123,14 @@ func (s *Scheduler) drainRedispatchLocked(sends *[]outMsg) {
 		ar.done = make([]bool, want)
 		ar.doneCount = 0
 		ar.stats.Workers = want
+		// A new attempt starts with a clean journal and no speculation
+		// history: old-attempt spans and watermarks are meaningless now, and
+		// a lingering supersede flag must not abort a new-attempt executor
+		// that lands on the same (rank, node) pair.
+		ar.journal = nil
+		ar.specNode = map[int]string{}
+		ar.specTried = map[int]bool{}
+		s.rt.clearSuperseded(rd.reqID)
 		s.rt.dropWorkQueue(rd.reqID) // the new attempt re-claims dynamic work from scratch
 		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
 			"req %d restarted as attempt %d with %d workers", rd.reqID, rd.attempt, want)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -38,6 +39,14 @@ type Worker struct {
 	// pfIndexField, when non-empty, is the scalar field whose min/max index
 	// rides along with prefetched blocks (set by Ctx.PrefetchIndexed).
 	pfIndexField string
+	// Journal-mode watermark state, published by the executing Ctx and
+	// piggybacked on heartbeats: the request/rank/attempt being executed and
+	// the cumulative set of completed span items. Heartbeat re-delivery makes
+	// the scheduler's journal robust against a lost wmark message.
+	jreq     uint64
+	jrank    int
+	jattempt int
+	jmarks   []int
 }
 
 func newWorker(rt *Runtime, node string, pf prefetch.Prefetcher) *Worker {
@@ -115,6 +124,29 @@ func (w *Worker) setBusy(b bool) {
 	w.mu.Unlock()
 }
 
+// beginJournal arms the heartbeat watermark piggyback for one execution.
+func (w *Worker) beginJournal(reqID uint64, rank, attempt int) {
+	w.mu.Lock()
+	w.jreq, w.jrank, w.jattempt = reqID, rank, attempt
+	w.jmarks = w.jmarks[:0]
+	w.mu.Unlock()
+}
+
+// markDone appends one completed span item to the published watermark.
+func (w *Worker) markDone(item int) {
+	w.mu.Lock()
+	w.jmarks = append(w.jmarks, item)
+	w.mu.Unlock()
+}
+
+// clearJournal disarms the watermark piggyback when an execution ends.
+func (w *Worker) clearJournal() {
+	w.mu.Lock()
+	w.jreq, w.jrank, w.jattempt = 0, 0, 0
+	w.jmarks = w.jmarks[:0]
+	w.mu.Unlock()
+}
+
 // start creates the worker's data proxy — deferred to runtime start so the
 // proxy's loading strategies see every registered device — and spawns the
 // actor loop plus the heartbeat actor.
@@ -142,11 +174,25 @@ func (w *Worker) heartbeatLoop() {
 		if w.busy {
 			state = "busy"
 		}
+		jreq, jrank, jattempt := w.jreq, w.jrank, w.jattempt
+		var jmarks string
+		if jreq != 0 {
+			jmarks = comm.EncodeIntList(w.jmarks)
+		}
 		w.mu.Unlock()
-		w.ep.Send("scheduler", comm.Message{
+		hb := comm.Message{
 			Kind:   "hb",
 			Params: map[string]string{"worker": w.node, "state": state},
-		})
+		}
+		if jreq != 0 {
+			// Piggyback the cumulative completed-item watermark of the
+			// journaled execution in flight.
+			hb.Params["jreq"] = strconv.FormatUint(jreq, 10)
+			hb.Params["jrank"] = strconv.Itoa(jrank)
+			hb.Params["jattempt"] = strconv.Itoa(jattempt)
+			hb.Params["jmarks"] = jmarks
+		}
+		w.ep.Send("scheduler", hb)
 	}
 }
 
@@ -188,6 +234,7 @@ func (w *Worker) execute(start comm.Message) {
 	}()
 	w.setBusy(true)
 	defer w.setBusy(false)
+	defer w.clearJournal()
 
 	reqID := start.ReqID
 	rank := start.IntParam("rank", 0)
@@ -240,6 +287,12 @@ func (w *Worker) execute(start comm.Message) {
 		if runErr != nil {
 			msg.Kind = "werror"
 			msg.Params["error"] = runErr.Error()
+			if errors.Is(runErr, ErrSuperseded) {
+				// A speculation loser is not a failure: the master must wait
+				// for (or has already accepted) the winner's partial for this
+				// rank instead of recording an error.
+				msg.Params["superseded"] = "1"
+			}
 		} else {
 			msg.Payload = partial.EncodeBinary()
 		}
@@ -287,6 +340,11 @@ func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
 		case "wpartial", "werror", "wfail":
 			if m.ReqID != ctx.Req.ReqID || m.IntParam("attempt", 0) != ctx.attempt {
 				continue // stale message from an aborted request or attempt
+			}
+			if m.Params["superseded"] == "1" {
+				// A speculation loser's report: skipped without marking the
+				// rank seen, so the winner's delivery still counts.
+				continue
 			}
 			rank := m.IntParam("rank", -1)
 			if rank < 1 || rank >= ctx.GroupSize || seen[rank] {
@@ -364,6 +422,9 @@ func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
 	}
 	if runErr != nil {
 		params["error"] = runErr.Error()
+		if errors.Is(runErr, ErrSuperseded) {
+			params["superseded"] = "1"
+		}
 	}
 	if err := w.ep.Send("scheduler", comm.Message{
 		Kind:   "wdone",

@@ -72,6 +72,10 @@ type Plan struct {
 	// extra per-packet processing delay: the slow-consumer scenario for the
 	// streaming backpressure path.
 	Consumers map[string]time.Duration
+	// Lags maps worker node names (or Any for all) to a compute-cost
+	// multiplier: every Charge on that node takes factor times as long. A
+	// deterministic straggler — slow but alive, heartbeating normally.
+	Lags map[string]float64
 }
 
 // CrashAt registers a worker crash and returns the plan for chaining.
@@ -93,6 +97,17 @@ func (p *Plan) SlowConsumer(endpoint string, d time.Duration) *Plan {
 	return p
 }
 
+// Lag registers a compute-cost multiplier for a worker node ("w1", or Any)
+// and returns the plan for chaining. factor 1 is a no-op; factor 4 makes
+// every computation on the node take four times as long.
+func (p *Plan) Lag(node string, factor float64) *Plan {
+	if p.Lags == nil {
+		p.Lags = map[string]float64{}
+	}
+	p.Lags[node] = factor
+	return p
+}
+
 // ParseRule adds one textual fault rule to the plan (the -fault flag of
 // cmd/viracocha-server). Formats:
 //
@@ -103,8 +118,9 @@ func (p *Plan) SlowConsumer(endpoint string, d time.Duration) *Plan {
 //	read:DATASET:STEP:BLOCK:N  fail N matching reads (N<0: all; STEP/BLOCK -1: any)
 //	corrupt:DATASET:STEP:BLOCK:N  corrupt N matching reads (device re-reads once)
 //	slow:ENDPOINT@DUR        delay ENDPOINT's packet consumption by DUR ("slow:client1@2s")
+//	lag:NODE:FACTOR          multiply NODE's compute cost by FACTOR ("lag:w1:4")
 //
-// FROM, TO, KIND, DATASET and ENDPOINT accept "*" as a wildcard.
+// FROM, TO, KIND, DATASET, ENDPOINT and NODE accept "*" as a wildcard.
 func (p *Plan) ParseRule(spec string) error {
 	kind, rest, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -185,6 +201,16 @@ func (p *Plan) ParseRule(spec string) error {
 			return fmt.Errorf("faults: rule %q: %w", spec, err)
 		}
 		p.SlowConsumer(ep, d)
+	case "lag":
+		node, f, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("faults: rule %q: lag must be lag:NODE:FACTOR", spec)
+		}
+		factor, err := strconv.ParseFloat(f, 64)
+		if err != nil || factor <= 0 {
+			return fmt.Errorf("faults: rule %q: bad factor %q", spec, f)
+		}
+		p.Lag(node, factor)
 	default:
 		return fmt.Errorf("faults: rule %q: unknown kind %q", spec, kind)
 	}
@@ -308,6 +334,21 @@ func (in *Injector) ConsumerDelay(endpoint string) time.Duration {
 		return d
 	}
 	return in.plan.Consumers[Any]
+}
+
+// ComputeFactor reports the planned compute-cost multiplier for a worker
+// node (exact name first, then the Any wildcard; 1 means full speed).
+func (in *Injector) ComputeFactor(node string) float64 {
+	if in == nil || len(in.plan.Lags) == 0 {
+		return 1
+	}
+	if f, ok := in.plan.Lags[node]; ok && f > 0 {
+		return f
+	}
+	if f, ok := in.plan.Lags[Any]; ok && f > 0 {
+		return f
+	}
+	return 1
 }
 
 // roll returns a deterministic uniform value in [0,1) for decision slot

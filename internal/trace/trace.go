@@ -99,3 +99,16 @@ func (l *Log) Matching(substr string) []Event {
 	}
 	return out
 }
+
+// CountMatching reports how many retained events' Msg contains substr —
+// the assertion form of Matching for tests that only care about occurrence
+// counts (redistributions, speculations, dropped redispatches).
+func (l *Log) CountMatching(substr string) int {
+	n := 0
+	for _, e := range l.Events() {
+		if strings.Contains(e.Msg, substr) {
+			n++
+		}
+	}
+	return n
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -313,7 +314,28 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 	merged := &mesh.Mesh{}
 	attempt := 0
 	type packetKey struct{ rank, seq int }
+	type blockKey struct{ block, bseq int }
 	seen := map[packetKey]bool{}
+	// Block-tagged partials (server running block-granular recovery) are
+	// deduplicated by (block, bseq) — a redistributed span restarts the
+	// producer's sequence numbers — and merged in canonical block order at
+	// the end, so the result is byte-identical across recovery timelines.
+	tagged := map[blockKey]*mesh.Mesh{}
+	mergeTagged := func() {
+		keys := make([]blockKey, 0, len(tagged))
+		for k := range tagged {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].block != keys[j].block {
+				return keys[i].block < keys[j].block
+			}
+			return keys[i].bseq < keys[j].bseq
+		})
+		for _, k := range keys {
+			merged.Append(tagged[k])
+		}
+	}
 	for {
 		m, ok := rc.conn.Recv()
 		if !ok {
@@ -335,6 +357,7 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 			attempt = att
 			merged = &mesh.Mesh{}
 			seen = map[packetKey]bool{}
+			tagged = map[blockKey]*mesh.Mesh{}
 		}
 		switch m.Kind {
 		case "partial":
@@ -344,6 +367,25 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 				Kind: "ack", ReqID: rc.seq,
 				Params: map[string]string{"rank": strconv.Itoa(m.IntParam("rank", 0))},
 			})
+			if bv, ok := m.Params["block"]; ok {
+				block, cerr := strconv.Atoi(bv)
+				if cerr != nil {
+					return nil, fmt.Errorf("viracocha: bad block tag %q", bv)
+				}
+				key := blockKey{block: block, bseq: m.IntParam("bseq", 0)}
+				if _, dup := tagged[key]; dup {
+					continue
+				}
+				part, err := mesh.DecodeBinary(m.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("viracocha: corrupt partial: %w", err)
+				}
+				tagged[key] = part
+				if onPartial != nil {
+					onPartial(m.Seq, part)
+				}
+				continue
+			}
 			key := packetKey{rank: m.IntParam("rank", 0), seq: m.Seq}
 			if seen[key] {
 				continue
@@ -362,6 +404,7 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 			if err != nil {
 				return nil, fmt.Errorf("viracocha: corrupt result: %w", err)
 			}
+			mergeTagged()
 			merged.Append(final)
 			return merged, nil
 		case "error":

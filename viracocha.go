@@ -67,7 +67,8 @@ var ErrOverloaded = core.ErrOverloaded
 var ErrSlowConsumer = core.ErrSlowConsumer
 
 // DefaultFTConfig returns the fault-tolerance defaults (250ms heartbeats, 2s
-// failure window, 2 retries with 100ms→5s backoff) for callers that want to
+// failure window, 2 retries with 100ms→5s backoff; block-granular
+// redistribution and straggler speculation off) for callers that want to
 // tweak a single knob via Options.FT.
 func DefaultFTConfig() FTConfig { return core.DefaultFTConfig() }
 
@@ -100,7 +101,8 @@ type Options struct {
 	// Requests override per call with the "index" parameter.
 	UseIndex bool
 	// FT overrides the fault-tolerance defaults (heartbeat interval,
-	// failure window, retry budget and backoff); nil keeps DefaultFTConfig.
+	// failure window, retry budget and backoff, block-granular recovery and
+	// straggler speculation); nil keeps DefaultFTConfig.
 	FT *FTConfig
 	// Overload enables admission control, streaming backpressure and the
 	// DMS memory budget; nil keeps all of it disabled (the zero
