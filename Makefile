@@ -12,10 +12,11 @@ test:
 
 # Race-check the concurrency-heavy packages: the actor runtime, the fabric
 # and the virtual clock (plus the fault machinery, the DMS caches, the
-# storage device, and the pooled kernel scratch in iso/mesh/vortex that
-# workers share through sync.Pool).
+# storage device, the pooled kernel scratch in iso/mesh/vortex that workers
+# share through sync.Pool, the session-lease registry, and the root package's
+# durable TCP bridge with its reconnect/drain scenarios).
 race:
-	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/ ./internal/grid/ ./internal/iso/ ./internal/mesh/ ./internal/vortex/ ./internal/commands/
+	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/ ./internal/grid/ ./internal/iso/ ./internal/mesh/ ./internal/vortex/ ./internal/commands/ ./internal/session/ .
 
 # The seeded overload-resilience suite under the race detector: admission
 # control, session quotas, stream backpressure, slow-consumer culling, the
@@ -31,6 +32,7 @@ SOAK_SEEDS ?= 24
 soak:
 	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 -v -run 'TestSoakRecovery' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestSpan|TestStraggler|TestDuplicateRedispatch|TestTagged|TestRedistributeOff|TestWatermark' ./internal/core/
+	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 -v -run 'TestReconnectStorm' .
 
 vet:
 	$(GO) vet ./...

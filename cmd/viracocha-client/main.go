@@ -36,7 +36,9 @@ func main() {
 		script  = flag.String("session", "", "replay a recorded session script (JSON) instead of -cmd")
 		cancel  = flag.Duration("cancel-after", 0, "cancel the command after this duration (0 = never)")
 		retries = flag.Int("retries", 0, "dial/reconnect attempts on connection failure (0 = fail fast)")
-		olRetry = flag.Int("overload-retries", 3, "resubmissions after a server overloaded rejection, honoring its retry-after hint (0 = fail fast)")
+		olRetry = flag.Int("overload-retries", 3, "resubmissions after a server overloaded (or draining) rejection, honoring its retry-after hint (0 = fail fast)")
+		resume  = flag.Bool("resume", false, "durable session: reconnect automatically on connection loss and resume in-flight streams exactly where they stopped")
+		drain   = flag.Bool("drain", false, "admin: ask the server to drain (graceful shutdown) and wait for the acknowledgement instead of running a command")
 		ps      paramList
 	)
 	flag.Var(&ps, "p", "command parameter key=value (repeatable; redistribute=0/1 overrides the server's block-granular recovery default per request)")
@@ -64,6 +66,16 @@ func main() {
 	}
 	defer rc.Close()
 	rc.OverloadRetries = *olRetry
+	rc.Resume = *resume
+
+	if *drain {
+		start := time.Now()
+		if err := rc.Drain(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("server drained in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	start := time.Now()
 	first := time.Duration(0)

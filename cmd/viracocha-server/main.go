@@ -11,7 +11,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"viracocha"
@@ -45,9 +48,12 @@ func main() {
 		window    = flag.Int("stream-window", 32, "unacked partial packets per stream before the producer parks (0 = no flow control)")
 		slowAfter = flag.Duration("slow-consumer-after", 5*time.Second, "cancel a request parked on stream credit this long (0 = park forever)")
 		useIndex  = flag.Bool("index", false, "enable min/max acceleration indexes: cache per-(block, field) brick indexes, lambda2 fields and BSP trees as derived DMS entities (requests override with index=0/1)")
+		lease     = flag.Duration("lease", 30*time.Second, "durable-session lease: how long a disconnected client's session (and its in-flight streams) survives awaiting resume")
+		drainTmo  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long in-flight requests get to finish after SIGTERM (or a remote drain) before exiting anyway")
+		snapshot  = flag.String("snapshot", "", "session snapshot file: restored on start when present, written on graceful shutdown so a restarted server honors client resumes")
 		faultSpec faultList
 	)
-	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR, lag:NODE:FACTOR")
+	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR, lag:NODE:FACTOR, discon:SESSION:AFTER_MSGS, hang:SESSION")
 	flag.Parse()
 
 	opts := viracocha.Options{
@@ -56,6 +62,8 @@ func main() {
 		StorageLatency:   *latency,
 		StorageBandwidth: *bandwidth,
 		UseIndex:         *useIndex,
+		SessionLease:     *lease,
+		DrainTimeout:     *drainTmo,
 	}
 	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 || *redistrib || *stragglerF > 0 {
 		ft := viracocha.DefaultFTConfig()
@@ -109,10 +117,48 @@ func main() {
 		fmt.Printf("hosting data set %q (scale %d)\n", name, *scale)
 	}
 
+	if *snapshot != "" {
+		if data, err := os.ReadFile(*snapshot); err == nil {
+			if err := sys.RestoreSessions(data); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("restored %d durable sessions from %s\n", sys.SessionCount(), *snapshot)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("viracocha-server: %d workers listening on %s\n", *workers, ln.Addr())
+
+	// SIGTERM/SIGINT → graceful shutdown: reject new requests with a
+	// retry-after, let in-flight ones finish (bounded by -drain-timeout),
+	// snapshot the durable sessions, and exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sig
+		fmt.Printf("%v: draining (timeout %v)...\n", s, *drainTmo)
+		if err := sys.Drain(*drainTmo); err != nil {
+			fmt.Println(err)
+		}
+		if *snapshot != "" {
+			data, err := sys.SnapshotSessions()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*snapshot, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("session snapshot written to %s (%d sessions)\n", *snapshot, sys.SessionCount())
+		}
+		sys.DisconnectClients()
+		ln.Close()
+		os.Exit(0)
+	}()
+
+	fmt.Printf("viracocha-server: %d workers listening on %s (session lease %v)\n", *workers, ln.Addr(), *lease)
 	log.Fatal(sys.Serve(ln))
 }

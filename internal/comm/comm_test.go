@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"net"
 	"reflect"
@@ -386,5 +387,79 @@ func TestInboundLinksOfDistinctReceiversOverlap(t *testing.T) {
 	v.Wait()
 	if v.Now() > 1100*time.Millisecond {
 		t.Fatalf("independent links did not overlap: %v", v.Now())
+	}
+}
+
+func TestWriteTimeoutOnWedgedPeer(t *testing.T) {
+	// A peer that accepts the connection and then never reads: once the
+	// kernel buffers fill, Send must fail with ErrWriteTimeout instead of
+	// blocking the stream goroutine forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c // held open, never read
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Shrink the send buffer so a handful of large frames wedges the write.
+	if tc, ok := raw.(*net.TCPConn); ok {
+		tc.SetWriteBuffer(4 << 10)
+	}
+	conn := NewConn(raw)
+	conn.SetWriteTimeout(200 * time.Millisecond)
+	big := Message{Kind: "partial", ReqID: 1, Payload: bytes.Repeat([]byte{0xAB}, 256<<10)}
+	var sendErr error
+	for i := 0; i < 64; i++ {
+		if sendErr = conn.Send(big); sendErr != nil {
+			break
+		}
+	}
+	if !errors.Is(sendErr, ErrWriteTimeout) {
+		t.Fatalf("send against wedged peer = %v, want ErrWriteTimeout", sendErr)
+	}
+	if c := <-accepted; c != nil {
+		c.Close()
+	}
+}
+
+func TestWriteTimeoutZeroIsUnbounded(t *testing.T) {
+	// The default (no timeout) must keep working for well-behaved peers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan Message, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		m, _ := ReadFrame(c)
+		done <- m
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	conn := NewConn(raw)
+	if err := conn.Send(Message{Kind: "command", ReqID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if m := <-done; m.ReqID != 9 {
+		t.Fatalf("peer read ReqID %d, want 9", m.ReqID)
 	}
 }

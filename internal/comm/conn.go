@@ -1,9 +1,18 @@
 package comm
 
 import (
+	"errors"
+	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// ErrWriteTimeout marks a Send that missed the connection's write deadline:
+// the peer accepted the connection but stopped draining it (a wedged
+// renderer, a half-open link). errors.Is-match it to distinguish "peer
+// wedged" from "peer gone".
+var ErrWriteTimeout = errors.New("comm: write timeout: peer not draining")
 
 // Conn adapts a net.Conn (the TCP link between visualization client and
 // scheduler) into a Sender/Receiver of framed messages. Writes are
@@ -11,16 +20,38 @@ import (
 type Conn struct {
 	c   net.Conn
 	wmu sync.Mutex
+	wto time.Duration
 }
 
 // NewConn wraps an established connection.
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
 
-// Send writes one framed message.
+// SetWriteTimeout bounds every subsequent Send: a frame that cannot be fully
+// written within d fails with ErrWriteTimeout instead of blocking the sender
+// forever behind a peer that stopped reading. d <= 0 restores unbounded
+// writes.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.wmu.Lock()
+	c.wto = d
+	c.wmu.Unlock()
+}
+
+// Send writes one framed message, honoring the write timeout when one is
+// set. After a timeout the connection is poisoned (a frame may be partially
+// written) and must be discarded, like after any other send error.
 func (c *Conn) Send(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return WriteFrame(c.c, m)
+	if c.wto > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.wto))
+		defer c.c.SetWriteDeadline(time.Time{})
+	}
+	err := WriteFrame(c.c, m)
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w (after %v)", ErrWriteTimeout, c.wto)
+	}
+	return err
 }
 
 // Recv reads one framed message; ok is false on any read error (EOF,

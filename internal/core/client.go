@@ -248,6 +248,11 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 					Reason:     m.Params["error"],
 					RetryAfter: time.Duration(m.IntParam("retry_after_ms", 0)) * time.Millisecond,
 				}
+			case m.Params["draining"] == "1":
+				res.Err = &DrainingError{
+					Reason:     m.Params["error"],
+					RetryAfter: time.Duration(m.IntParam("retry_after_ms", 0)) * time.Millisecond,
+				}
 			default:
 				res.Err = fmt.Errorf("core: remote error: %s", m.Params["error"])
 			}

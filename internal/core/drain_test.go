@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"viracocha/internal/vclock"
+)
+
+// TestDrainRejectsNewLetsInFlightFinish: a request submitted before drain
+// completes normally; one submitted after is bounced with ErrDraining and a
+// retry-after hint.
+func TestDrainRejectsNewLetsInFlightFinish(t *testing.T) {
+	v := vclock.NewVirtual()
+	rt := newTestRuntime(t, v, 2)
+	var inflight, late *RunResult
+	var lateErr error
+	v.Go(func() {
+		cl := NewClient(rt)
+		// test.sleepy charges seconds of compute, so it is still running when
+		// the drain lands.
+		id, err := cl.Submit("test.sleepy", map[string]string{"dataset": "tiny", "workers": "2"})
+		if err != nil {
+			t.Error(err)
+		}
+		v.Sleep(10 * time.Millisecond)
+		rt.DrainScheduler()
+		v.Sleep(10 * time.Millisecond)
+		late, lateErr = cl.Run("test.echo", map[string]string{"dataset": "tiny", "workers": "1"})
+		inflight, err = cl.Collect(id)
+		if err != nil {
+			t.Errorf("in-flight request failed under drain: %v", err)
+		}
+		rt.Shutdown()
+	})
+	v.Wait()
+	if inflight == nil || inflight.Err != nil {
+		t.Fatalf("in-flight result = %+v", inflight)
+	}
+	if !errors.Is(lateErr, ErrDraining) {
+		t.Fatalf("post-drain submit error = %v, want ErrDraining", lateErr)
+	}
+	var de *DrainingError
+	if !errors.As(lateErr, &de) || de.RetryAfter <= 0 {
+		t.Fatalf("drain rejection = %#v, want typed DrainingError with retry-after", lateErr)
+	}
+	if late.FinalAt == 0 {
+		t.Fatal("drain rejection did not finalize the result")
+	}
+	if got := rt.Sched.OverloadStats().RejectedDrain; got != 1 {
+		t.Fatalf("RejectedDrain = %d, want 1", got)
+	}
+	if !rt.Sched.Draining() {
+		t.Fatal("scheduler does not report drain mode")
+	}
+}
+
+// TestDrainInFlightCountReachesZero: InFlight observes the queued+active
+// population drain to zero without the scheduler stopping.
+func TestDrainInFlightCountReachesZero(t *testing.T) {
+	v := vclock.NewVirtual()
+	rt := newTestRuntime(t, v, 2)
+	var during, after int
+	v.Go(func() {
+		cl := NewClient(rt)
+		id1, _ := cl.Submit("test.sleepy", map[string]string{"dataset": "tiny", "workers": "1"})
+		id2, _ := cl.Submit("test.sleepy", map[string]string{"dataset": "tiny", "workers": "1"})
+		v.Sleep(10 * time.Millisecond)
+		rt.DrainScheduler()
+		during = rt.Sched.InFlight()
+		cl.Collect(id1)
+		cl.Collect(id2)
+		// Collect returns when the client got its final frame; the
+		// scheduler's own retirement (wdone) can lag by a delivery. Give the
+		// fabric a beat before reading InFlight.
+		v.Sleep(100 * time.Millisecond)
+		after = rt.Sched.InFlight()
+		// A drained scheduler still answers stats queries (it is not stopped).
+		if _, ok := rt.Sched.Stats(id1); !ok {
+			t.Error("stats missing after drain")
+		}
+		rt.Shutdown()
+	})
+	v.Wait()
+	if during != 2 {
+		t.Fatalf("InFlight during = %d, want 2", during)
+	}
+	if after != 0 {
+		t.Fatalf("InFlight after = %d, want 0", after)
+	}
+}
+
+// TestDrainIsIdempotent: a second drain message is harmless.
+func TestDrainIsIdempotent(t *testing.T) {
+	v := vclock.NewVirtual()
+	rt := newTestRuntime(t, v, 1)
+	var err1, err2 error
+	v.Go(func() {
+		cl := NewClient(rt)
+		rt.DrainScheduler()
+		rt.DrainScheduler()
+		v.Sleep(time.Millisecond)
+		_, err1 = cl.Run("test.echo", map[string]string{"dataset": "tiny", "workers": "1"})
+		_, err2 = cl.Run("test.echo", map[string]string{"dataset": "tiny", "workers": "1"})
+		rt.Shutdown()
+	})
+	v.Wait()
+	if !errors.Is(err1, ErrDraining) || !errors.Is(err2, ErrDraining) {
+		t.Fatalf("errors after double drain = %v, %v, want ErrDraining both", err1, err2)
+	}
+}

@@ -76,10 +76,32 @@ func (e *OverloadedError) Error() string {
 // Unwrap makes errors.Is(err, ErrOverloaded) true.
 func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
 
+// ErrDraining marks admission rejections from a scheduler in drain mode: the
+// server is shutting down gracefully, finishing in-flight requests but
+// accepting no new ones. Errors carrying it unwrap to *DrainingError with a
+// retry-after hint (sized for the server's expected bounce, not its queue).
+var ErrDraining = errors.New("core: draining")
+
+// DrainingError is a typed drain rejection, shaped like OverloadedError so
+// retry loops can treat both uniformly.
+type DrainingError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *DrainingError) Error() string {
+	return fmt.Sprintf("%s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrDraining) true.
+func (e *DrainingError) Unwrap() error { return ErrDraining }
+
 // OverloadCounters reports the scheduler's admission-control activity.
 type OverloadCounters struct {
 	RejectedQueue int64 // rejections because the pending queue was full
 	RejectedQuota int64 // rejections because the session quota was exhausted
+	RejectedDrain int64 // rejections because the scheduler was draining
 }
 
 // ringKeepCap is the backing-array size worth keeping across bursts; a

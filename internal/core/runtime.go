@@ -391,3 +391,16 @@ func (rt *Runtime) hasDynWork(reqID uint64) bool {
 func (rt *Runtime) Shutdown() {
 	rt.Net.Endpoint("control").Send("scheduler", comm.Message{Kind: "shutdown"})
 }
+
+// DrainScheduler puts the scheduler into drain mode: in-flight requests run
+// to completion, new commands are rejected with ErrDraining. Unlike
+// Shutdown, the scheduler stays alive (absorbing worker reports and serving
+// stats) until Shutdown follows. Must be called from a context where a
+// fabric send is legal (an actor, or any goroutine under the real clock).
+func (rt *Runtime) DrainScheduler() {
+	rt.Net.Endpoint("control.drain").Send("scheduler", comm.Message{Kind: "drain"})
+}
+
+// FaultInjector exposes the configured fault injector (nil for a fault-free
+// system); the TCP bridge consults it for connection-level fault rules.
+func (rt *Runtime) FaultInjector() *faults.Injector { return rt.faults }

@@ -109,6 +109,7 @@ type Scheduler struct {
 	svcSum     time.Duration  // summed service time of finished requests
 	svcCount   int64
 	overload   OverloadCounters
+	rejecting  bool // drain mode: in-flight requests finish, new ones bounce
 	draining   bool
 	stopped    bool
 }
@@ -233,6 +234,19 @@ func (s *Scheduler) loop() {
 			if active {
 				s.rt.markCancelled(m.ReqID)
 			}
+		case "drain":
+			// Graceful-shutdown admission gate: unlike "shutdown" (which also
+			// stops the loop once idle), drain only flips the rejection flag —
+			// the scheduler keeps running so in-flight requests finish, late
+			// worker reports are absorbed and a snapshot can be cut.
+			s.mu.Lock()
+			already := s.rejecting
+			s.rejecting = true
+			s.mu.Unlock()
+			if !already {
+				s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+					"drain mode entered: new requests rejected, in-flight continue")
+			}
 		case "shutdown":
 			s.mu.Lock()
 			s.draining = true
@@ -269,8 +283,12 @@ func (s *Scheduler) admit(m comm.Message) bool {
 	ol := s.rt.cfg.Overload
 	sess := sessionOf(m)
 	s.mu.Lock()
-	reason := ""
+	reason, flag, prefix := "", "overloaded", "core: overloaded: "
 	switch {
+	case s.rejecting:
+		reason = "server draining: not accepting new requests"
+		flag, prefix = "draining", "core: draining: "
+		s.overload.RejectedDrain++
 	case ol.MaxQueue > 0 && s.pending.len() >= ol.MaxQueue:
 		reason = fmt.Sprintf("queue full (%d queued, cap %d)", s.pending.len(), ol.MaxQueue)
 		s.overload.RejectedQueue++
@@ -286,7 +304,7 @@ func (s *Scheduler) admit(m comm.Message) bool {
 	}
 	ra := s.retryAfterLocked()
 	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
-		"req %d rejected: overloaded: %s, retry after %v", m.ReqID, reason, ra)
+		"req %d rejected: %s: %s, retry after %v", m.ReqID, flag, reason, ra)
 	to := m.Params["client"]
 	if to == "" {
 		to = "client"
@@ -297,8 +315,8 @@ func (s *Scheduler) admit(m comm.Message) bool {
 		ReqID:   m.ReqID,
 		Final:   true,
 		Params: map[string]string{
-			"error":          "core: overloaded: " + reason,
-			"overloaded":     "1",
+			"error":          prefix + reason,
+			flag:             "1",
 			"retry_after_ms": strconv.FormatInt(ra.Milliseconds(), 10),
 			"attempt":        "0",
 		},
@@ -1186,6 +1204,21 @@ func (s *Scheduler) Stats(reqID uint64) (RequestStats, bool) {
 	defer s.mu.Unlock()
 	st, ok := s.finished[reqID]
 	return st, ok
+}
+
+// InFlight reports the number of requests queued or running — the quantity a
+// graceful shutdown polls toward zero.
+func (s *Scheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending.len() + len(s.active)
+}
+
+// Draining reports whether the admission gate is in drain mode.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejecting
 }
 
 // FinishedCount reports how many requests have completed.

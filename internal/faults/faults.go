@@ -50,6 +50,15 @@ type ReadRule struct {
 	Fail int
 }
 
+// DisconRule drops one TCP connection deterministically: after the bridge
+// has delivered After frames to the connection named Name (a session ID, or
+// Any), the next delivery severs the link instead. Each rule fires once —
+// repeat the rule to drop a reconnected session again.
+type DisconRule struct {
+	Name  string
+	After int
+}
+
 // Plan is a complete, seeded fault scenario.
 type Plan struct {
 	// Seed drives all probabilistic decisions; the same seed replays the
@@ -76,6 +85,14 @@ type Plan struct {
 	// multiplier: every Charge on that node takes factor times as long. A
 	// deterministic straggler — slow but alive, heartbeating normally.
 	Lags map[string]float64
+	// Disconnects are applied in order; the first un-burned matching rule
+	// whose frame count has been reached drops the client connection
+	// mid-stream (the TCP bridge consults OnConnFrame before each delivery).
+	Disconnects []DisconRule
+	// Hangs marks connection names (or Any) whose peer goes silent without
+	// closing: the bridge treats sends to them as wedged, exercising the
+	// write-deadline path deterministically.
+	Hangs map[string]bool
 }
 
 // CrashAt registers a worker crash and returns the plan for chaining.
@@ -108,6 +125,24 @@ func (p *Plan) Lag(node string, factor float64) *Plan {
 	return p
 }
 
+// Disconnect registers a deterministic mid-stream connection drop after n
+// delivered frames on the connection named name (a session ID, or Any) and
+// returns the plan for chaining.
+func (p *Plan) Disconnect(name string, after int) *Plan {
+	p.Disconnects = append(p.Disconnects, DisconRule{Name: name, After: after})
+	return p
+}
+
+// Hang marks a connection name (or Any) as an accepted-but-silent peer and
+// returns the plan for chaining.
+func (p *Plan) Hang(name string) *Plan {
+	if p.Hangs == nil {
+		p.Hangs = map[string]bool{}
+	}
+	p.Hangs[name] = true
+	return p
+}
+
 // ParseRule adds one textual fault rule to the plan (the -fault flag of
 // cmd/viracocha-server). Formats:
 //
@@ -119,6 +154,8 @@ func (p *Plan) Lag(node string, factor float64) *Plan {
 //	corrupt:DATASET:STEP:BLOCK:N  corrupt N matching reads (device re-reads once)
 //	slow:ENDPOINT@DUR        delay ENDPOINT's packet consumption by DUR ("slow:client1@2s")
 //	lag:NODE:FACTOR          multiply NODE's compute cost by FACTOR ("lag:w1:4")
+//	discon:NODE:AFTER_MSGS   drop NODE's connection after AFTER_MSGS delivered frames ("discon:sess-1:5")
+//	hang:NODE                NODE's peer accepts but never drains ("hang:sess-1")
 //
 // FROM, TO, KIND, DATASET, ENDPOINT and NODE accept "*" as a wildcard.
 func (p *Plan) ParseRule(spec string) error {
@@ -211,6 +248,21 @@ func (p *Plan) ParseRule(spec string) error {
 			return fmt.Errorf("faults: rule %q: bad factor %q", spec, f)
 		}
 		p.Lag(node, factor)
+	case "discon":
+		name, n, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("faults: rule %q: discon must be discon:NODE:AFTER_MSGS", spec)
+		}
+		after, err := strconv.Atoi(n)
+		if err != nil || after < 0 {
+			return fmt.Errorf("faults: rule %q: bad frame count %q", spec, n)
+		}
+		p.Disconnect(name, after)
+	case "hang":
+		if rest == "" {
+			return fmt.Errorf("faults: rule %q: hang must be hang:NODE", spec)
+		}
+		p.Hang(rest)
 	default:
 		return fmt.Errorf("faults: rule %q: unknown kind %q", spec, kind)
 	}
@@ -226,6 +278,8 @@ type Injector struct {
 	linkSeq    map[string]uint64 // per-link message counter
 	readHit    []int             // per-read-rule consumed budget
 	corruptHit []int             // per-corrupt-rule consumed budget
+	connFrames map[string]int    // per-connection delivered-frame counter
+	disconUsed []bool            // per-discon-rule one-shot burn
 }
 
 // New compiles a plan. A nil plan yields a nil injector, which callers treat
@@ -239,6 +293,8 @@ func New(p *Plan) *Injector {
 		linkSeq:    map[string]uint64{},
 		readHit:    make([]int, len(p.Reads)),
 		corruptHit: make([]int, len(p.Corrupts)),
+		connFrames: map[string]int{},
+		disconUsed: make([]bool, len(p.Disconnects)),
 	}
 }
 
@@ -349,6 +405,41 @@ func (in *Injector) ComputeFactor(node string) float64 {
 		return f
 	}
 	return 1
+}
+
+// OnConnFrame advances the delivered-frame counter of the connection named
+// name and reports whether a disconnect rule fires here: the TCP bridge
+// consults it before each delivery and, on true, severs the connection
+// instead. Each rule burns after firing once; the counter keeps running
+// across reconnects, so a second identical rule drops the resumed stream at
+// a later absolute frame count.
+func (in *Injector) OnConnFrame(name string) bool {
+	if in == nil || len(in.plan.Disconnects) == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	count := in.connFrames[name]
+	in.connFrames[name] = count + 1
+	for i, r := range in.plan.Disconnects {
+		if in.disconUsed[i] || !matchStr(r.Name, name) {
+			continue
+		}
+		if count >= r.After {
+			in.disconUsed[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Hanged reports whether the connection named name is planned as an
+// accepted-but-silent peer (exact name first, then the Any wildcard).
+func (in *Injector) Hanged(name string) bool {
+	if in == nil || len(in.plan.Hangs) == 0 {
+		return false
+	}
+	return in.plan.Hangs[name] || in.plan.Hangs[Any]
 }
 
 // roll returns a deterministic uniform value in [0,1) for decision slot

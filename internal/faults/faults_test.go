@@ -220,3 +220,102 @@ func TestMutateDeterministic(t *testing.T) {
 	}
 	Mutate(1, nil, 4) // must not panic on empty input
 }
+
+func TestParseRuleDisconAndHang(t *testing.T) {
+	var p Plan
+	for _, spec := range []string{
+		"discon:sess-1:5",
+		"discon:*:0",
+		"hang:sess-2",
+		"hang:*",
+	} {
+		if err := p.ParseRule(spec); err != nil {
+			t.Fatalf("ParseRule(%q): %v", spec, err)
+		}
+	}
+	if len(p.Disconnects) != 2 {
+		t.Fatalf("disconnects = %d, want 2", len(p.Disconnects))
+	}
+	if p.Disconnects[0] != (DisconRule{Name: "sess-1", After: 5}) {
+		t.Fatalf("discon rule = %+v", p.Disconnects[0])
+	}
+	if p.Disconnects[1] != (DisconRule{Name: Any, After: 0}) {
+		t.Fatalf("wildcard discon rule = %+v", p.Disconnects[1])
+	}
+	if !p.Hangs["sess-2"] || !p.Hangs[Any] {
+		t.Fatalf("hangs = %+v", p.Hangs)
+	}
+	for _, bad := range []string{
+		"discon:sess-1",
+		"discon:sess-1:x",
+		"discon:sess-1:-1",
+		"hang:",
+	} {
+		var q Plan
+		if err := q.ParseRule(bad); err == nil {
+			t.Errorf("ParseRule(%q) accepted invalid rule", bad)
+		}
+	}
+}
+
+func TestOnConnFrameOneShot(t *testing.T) {
+	in := New((&Plan{}).Disconnect("sess-1", 2))
+	// Frames 0 and 1 pass; frame 2 fires the rule; the rule then burns.
+	for i := 0; i < 2; i++ {
+		if in.OnConnFrame("sess-1") {
+			t.Fatalf("rule fired early at frame %d", i)
+		}
+	}
+	if !in.OnConnFrame("sess-1") {
+		t.Fatal("rule did not fire at its frame count")
+	}
+	for i := 0; i < 10; i++ {
+		if in.OnConnFrame("sess-1") {
+			t.Fatal("burned rule fired again")
+		}
+	}
+	// Other connections never matched.
+	in2 := New((&Plan{}).Disconnect("sess-1", 0))
+	if in2.OnConnFrame("sess-9") {
+		t.Fatal("rule fired for a non-matching connection")
+	}
+}
+
+func TestOnConnFrameRepeatRuleUsesAbsoluteCount(t *testing.T) {
+	// Two rules for the same connection: the counter keeps running across
+	// the first drop, so the second fires at a later absolute frame count.
+	in := New((&Plan{}).Disconnect("s", 1).Disconnect("s", 4))
+	var fired []int
+	for i := 0; i < 8; i++ {
+		if in.OnConnFrame("s") {
+			fired = append(fired, i)
+		}
+	}
+	// Frame 1 fires rule 0; frame 2 has count 2 < 4, so rule 1 waits until
+	// frame 4.
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 4 {
+		t.Fatalf("fired at %v, want [1 4]", fired)
+	}
+}
+
+func TestHangedWildcard(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Hanged("x") {
+		t.Fatal("nil injector hanged")
+	}
+	in := New((&Plan{}).Hang("sess-3"))
+	if !in.Hanged("sess-3") || in.Hanged("sess-4") {
+		t.Fatal("exact hang match wrong")
+	}
+	all := New((&Plan{}).Hang(Any))
+	if !all.Hanged("anything") {
+		t.Fatal("wildcard hang did not match")
+	}
+}
+
+func TestOnConnFrameNilInjector(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.OnConnFrame("x") {
+		t.Fatal("nil injector disconnected")
+	}
+}

@@ -1,0 +1,192 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"viracocha/internal/vclock"
+)
+
+// DefaultLeaseTTL is the lease duration used when a registry is built with
+// ttl <= 0: long enough to ride out a WAN reconnect storm, short enough that
+// an abandoned session releases its quota within one operator sigh.
+const DefaultLeaseTTL = 30 * time.Second
+
+// ErrUnknownSession rejects a resume handshake naming a session the server
+// does not hold: never issued, already purged, or expired past its lease.
+var ErrUnknownSession = errors.New("session: unknown or expired session")
+
+// ErrStaleEpoch fences a resume handshake carrying an old epoch: another
+// connection has already resumed the session, and the fencing epoch ensures
+// exactly one of two racing reconnects wins.
+var ErrStaleEpoch = errors.New("session: stale epoch: lease already resumed")
+
+// Lease is one durable session's server-issued claim: the ID names the
+// session across connections, the epoch fences concurrent resumes (each
+// successful resume bumps it, invalidating handshakes from older
+// connections), and the expiry bounds how long the server retains state for
+// a client that went away.
+type Lease struct {
+	ID     string
+	Epoch  int
+	Expiry time.Duration // clock time at which the lease lapses
+}
+
+// Registry issues and tracks session leases under the runtime clock. All
+// methods are safe for concurrent use; the registry never expires entries on
+// its own — callers sweep Expired() and Drop what they purge, so eviction
+// stays tied to the owner's cleanup path.
+type Registry struct {
+	clock vclock.Clock
+	ttl   time.Duration
+
+	mu      sync.Mutex
+	counter uint64
+	leases  map[string]*Lease
+}
+
+// NewRegistry builds a lease registry on the given clock; ttl <= 0 selects
+// DefaultLeaseTTL.
+func NewRegistry(c vclock.Clock, ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &Registry{clock: c, ttl: ttl, leases: map[string]*Lease{}}
+}
+
+// TTL reports the registry's lease duration.
+func (r *Registry) TTL() time.Duration { return r.ttl }
+
+// Issue creates a fresh lease at epoch 0.
+func (r *Registry) Issue() Lease {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counter++
+	l := &Lease{
+		ID:     fmt.Sprintf("sess-%d", r.counter),
+		Expiry: r.clock.Now() + r.ttl,
+	}
+	r.leases[l.ID] = l
+	return *l
+}
+
+// Resume validates a reconnect handshake against the lease table. A lease
+// that expired (even if not yet swept) or was never issued fails with
+// ErrUnknownSession; a handshake carrying an epoch older than the lease's
+// current one fails with ErrStaleEpoch. On success the epoch is bumped —
+// fencing any connection still holding the previous epoch — and the expiry
+// renewed.
+func (r *Registry) Resume(id string, epoch int) (Lease, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.leases[id]
+	if !ok {
+		return Lease{}, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	if r.clock.Now() > l.Expiry {
+		// Expired but not yet swept: treat exactly like a purged session so
+		// the outcome does not depend on sweeper timing.
+		delete(r.leases, id)
+		return Lease{}, fmt.Errorf("%w: %q (lease expired)", ErrUnknownSession, id)
+	}
+	if epoch != l.Epoch {
+		return Lease{}, fmt.Errorf("%w: %q epoch %d, current %d", ErrStaleEpoch, id, epoch, l.Epoch)
+	}
+	l.Epoch++
+	l.Expiry = r.clock.Now() + r.ttl
+	return *l, nil
+}
+
+// Touch renews a live lease (a connected client keeps its session alive
+// indefinitely); it reports false for an unknown or expired lease.
+func (r *Registry) Touch(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.leases[id]
+	if !ok || r.clock.Now() > l.Expiry {
+		return false
+	}
+	l.Expiry = r.clock.Now() + r.ttl
+	return true
+}
+
+// Expired lists leases past their expiry, sorted for deterministic sweeps.
+// It does not remove them: the owner purges session state first and then
+// calls Drop, so a crash between the two leaves the lease (harmlessly)
+// sweepable again rather than orphaning state.
+func (r *Registry) Expired() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	var out []string
+	for id, l := range r.leases {
+		if now > l.Expiry {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a lease (session purged or client said goodbye).
+func (r *Registry) Drop(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.leases, id)
+}
+
+// Len reports the number of tracked leases, expired ones included.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.leases)
+}
+
+// LeaseRecord is one lease in a snapshot, with the expiry converted to a
+// remaining duration so a restore on a fresh clock (which restarts at zero)
+// grants the same grace the bounced server owed.
+type LeaseRecord struct {
+	ID          string `json:"id"`
+	Epoch       int    `json:"epoch"`
+	RemainingNS int64  `json:"remaining_ns"`
+}
+
+// RegistrySnapshot is the serializable state of a registry.
+type RegistrySnapshot struct {
+	Counter uint64        `json:"counter"`
+	Leases  []LeaseRecord `json:"leases"`
+}
+
+// Snapshot captures every unexpired lease for a crash-consistent drain
+// snapshot. Expired leases are dropped here rather than carried across the
+// restart.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	snap := RegistrySnapshot{Counter: r.counter}
+	for _, l := range r.leases {
+		if rem := l.Expiry - now; rem > 0 {
+			snap.Leases = append(snap.Leases, LeaseRecord{ID: l.ID, Epoch: l.Epoch, RemainingNS: int64(rem)})
+		}
+	}
+	sort.Slice(snap.Leases, func(i, j int) bool { return snap.Leases[i].ID < snap.Leases[j].ID })
+	return snap
+}
+
+// RestoreRegistry rebuilds a registry from a snapshot on a (possibly fresh)
+// clock: counters continue where they left off so restored and new session
+// IDs never collide, and each lease resumes with the remaining grace it had
+// when the snapshot was cut.
+func RestoreRegistry(c vclock.Clock, ttl time.Duration, snap RegistrySnapshot) *Registry {
+	r := NewRegistry(c, ttl)
+	r.counter = snap.Counter
+	now := c.Now()
+	for _, rec := range snap.Leases {
+		r.leases[rec.ID] = &Lease{ID: rec.ID, Epoch: rec.Epoch, Expiry: now + time.Duration(rec.RemainingNS)}
+	}
+	return r
+}

@@ -1,0 +1,177 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"viracocha/internal/vclock"
+)
+
+// runVirtual drives fn as the single actor of a fresh virtual clock, so
+// lease expiry is exercised in deterministic time.
+func runVirtual(t *testing.T, fn func(v *vclock.Virtual)) {
+	t.Helper()
+	v := vclock.NewVirtual()
+	v.Go(func() { fn(v) })
+	v.Wait()
+}
+
+func TestLeaseIssueAndResume(t *testing.T) {
+	runVirtual(t, func(v *vclock.Virtual) {
+		r := NewRegistry(v, time.Second)
+		l := r.Issue()
+		if l.ID == "" || l.Epoch != 0 {
+			t.Fatalf("fresh lease = %+v", l)
+		}
+		got, err := r.Resume(l.ID, 0)
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if got.Epoch != 1 {
+			t.Fatalf("epoch after resume = %d, want 1", got.Epoch)
+		}
+	})
+}
+
+func TestResumeAfterExpiry(t *testing.T) {
+	runVirtual(t, func(v *vclock.Virtual) {
+		r := NewRegistry(v, time.Second)
+		l := r.Issue()
+		v.Sleep(1500 * time.Millisecond)
+		if _, err := r.Resume(l.ID, 0); !errors.Is(err, ErrUnknownSession) {
+			t.Fatalf("resume after expiry = %v, want ErrUnknownSession", err)
+		}
+		// The failed resume must have evicted the corpse.
+		if r.Len() != 0 {
+			t.Fatalf("expired lease survived failed resume: %d tracked", r.Len())
+		}
+	})
+}
+
+func TestDoubleResumeStaleEpochFenced(t *testing.T) {
+	runVirtual(t, func(v *vclock.Virtual) {
+		r := NewRegistry(v, time.Second)
+		l := r.Issue()
+		first, err := r.Resume(l.ID, 0)
+		if err != nil {
+			t.Fatalf("first resume: %v", err)
+		}
+		// A second reconnect replaying the original epoch (e.g. a zombie
+		// connection that lost the race) must be fenced, not adopted.
+		if _, err := r.Resume(l.ID, 0); !errors.Is(err, ErrStaleEpoch) {
+			t.Fatalf("stale resume = %v, want ErrStaleEpoch", err)
+		}
+		// The winner's epoch keeps working.
+		if _, err := r.Resume(l.ID, first.Epoch); err != nil {
+			t.Fatalf("winner's re-resume: %v", err)
+		}
+	})
+}
+
+func TestTouchRenewsAndExpiredSweeps(t *testing.T) {
+	runVirtual(t, func(v *vclock.Virtual) {
+		r := NewRegistry(v, time.Second)
+		kept := r.Issue()
+		lost := r.Issue()
+		v.Sleep(700 * time.Millisecond)
+		if !r.Touch(kept.ID) {
+			t.Fatal("touch of live lease failed")
+		}
+		v.Sleep(700 * time.Millisecond) // lost is now 1.4s old; kept 0.7s since renewal
+		exp := r.Expired()
+		if len(exp) != 1 || exp[0] != lost.ID {
+			t.Fatalf("expired = %v, want [%s]", exp, lost.ID)
+		}
+		// Expired does not evict; the owner drops after purging.
+		if r.Len() != 2 {
+			t.Fatalf("Expired evicted: %d tracked, want 2", r.Len())
+		}
+		r.Drop(lost.ID)
+		if r.Len() != 1 {
+			t.Fatalf("after drop: %d tracked, want 1", r.Len())
+		}
+		if r.Touch(lost.ID) {
+			t.Fatal("touch of dropped lease succeeded")
+		}
+	})
+}
+
+// TestLeaseRenewalRace hammers Touch/Expired/Resume from concurrent
+// goroutines under the race detector: the registry must stay internally
+// consistent and the fencing epoch strictly monotonic.
+func TestLeaseRenewalRace(t *testing.T) {
+	r := NewRegistry(vclock.NewReal(), 50*time.Millisecond)
+	l := r.Issue()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Touch(l.ID)
+				r.Expired()
+			}
+		}()
+	}
+	epoch := 0
+	for i := 0; i < 50; i++ {
+		got, err := r.Resume(l.ID, epoch)
+		if err != nil {
+			t.Errorf("resume %d: %v", i, err)
+			break
+		}
+		if got.Epoch != epoch+1 {
+			t.Errorf("epoch after resume %d = %d, want %d", i, got.Epoch, epoch+1)
+			break
+		}
+		epoch = got.Epoch
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistrySnapshotRestore(t *testing.T) {
+	runVirtual(t, func(v *vclock.Virtual) {
+		r := NewRegistry(v, time.Second)
+		live := r.Issue()
+		lr, err := r.Resume(live.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := r.Issue()
+		v.Sleep(600 * time.Millisecond)
+		r.Touch(live.ID)
+		v.Sleep(600 * time.Millisecond) // dead expired, live has 400ms left
+
+		snap := r.Snapshot()
+		if len(snap.Leases) != 1 || snap.Leases[0].ID != live.ID {
+			t.Fatalf("snapshot leases = %+v, want only %s", snap.Leases, live.ID)
+		}
+		if snap.Leases[0].Epoch != lr.Epoch {
+			t.Fatalf("snapshot epoch = %d, want %d", snap.Leases[0].Epoch, lr.Epoch)
+		}
+
+		// Restore on a fresh clock: the lease keeps its epoch and remaining
+		// grace, and new IDs continue past the old counter.
+		v2 := vclock.NewVirtual()
+		v2.Go(func() {
+			r2 := RestoreRegistry(v2, time.Second, snap)
+			if _, err := r2.Resume(live.ID, lr.Epoch); err != nil {
+				t.Errorf("resume from snapshot: %v", err)
+			}
+			fresh := r2.Issue()
+			if fresh.ID == live.ID || fresh.ID == dead.ID {
+				t.Errorf("restored registry reissued ID %s", fresh.ID)
+			}
+		})
+		v2.Wait()
+	})
+}

@@ -16,11 +16,22 @@ import (
 	"viracocha/internal/vclock"
 )
 
+// ErrResumeDenied marks a resume handshake the server rejected for good:
+// the lease expired (the session was purged) or another connection resumed
+// it first (stale epoch). The in-flight request cannot be recovered;
+// resubmit on a fresh session.
+var ErrResumeDenied = errors.New("viracocha: session resume denied")
+
 // Serve exposes the system to visualization clients over TCP (the paper's
 // client↔scheduler link). Each accepted connection can have several
 // requests in flight; streamed partials and results are routed back to the
-// originating connection. Serve blocks until the listener fails; the system
-// must run under the real clock.
+// originating connection through the durable session bridge, so clients
+// that open with a hello handshake survive connection loss: their session
+// (and its in-flight requests) lives on under a lease, and a reconnect
+// resumes the stream exactly where it stopped. Clients that skip the
+// handshake keep the original ephemeral contract (purge on disconnect).
+// Serve blocks until the listener fails; the system must run under the real
+// clock.
 func (s *System) Serve(ln net.Listener) error {
 	if _, ok := s.Clock.(*vclock.Real); !ok {
 		return fmt.Errorf("viracocha: Serve requires a real-clock system")
@@ -28,141 +39,54 @@ func (s *System) Serve(ln net.Listener) error {
 	if !s.started {
 		s.Start()
 	}
-	bridge := fmt.Sprintf("tcp-bridge%d", s.Runtime.NextClientID())
-	ep := s.Runtime.Net.Endpoint(bridge)
-
-	var mu sync.Mutex
-	routes := map[uint64]*routeEntry{} // runtime reqID → connection
-
-	// Dispatcher: routes messages from the fabric back to TCP connections.
-	s.Clock.Go(func() {
-		for {
-			m, ok := ep.Recv()
-			if !ok {
-				return
-			}
-			mu.Lock()
-			r := routes[m.ReqID]
-			if r != nil && m.Final {
-				delete(routes, m.ReqID)
-			}
-			mu.Unlock()
-			if r == nil {
-				continue // connection gone
-			}
-			out := m
-			out.ReqID = r.clientReq
-			if err := r.conn.Send(out); err != nil {
-				// Drop the route; the reader loop will clean up.
-				mu.Lock()
-				delete(routes, m.ReqID)
-				mu.Unlock()
-			}
-		}
-	})
-
+	b := s.bridge()
+	b.start()
 	for {
 		c, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		conn := comm.NewConn(c)
-		// One admission-control session per connection: its quota slots are
-		// released and its requests purged when the connection dies.
-		sess := fmt.Sprintf("%s/s%d", bridge, s.Runtime.NextClientID())
-		go func() {
-			byClient := map[uint64]uint64{} // this conn's reqID → runtime reqID
-			defer func() {
-				conn.Close()
-				mu.Lock()
-				for rid, r := range routes {
-					if r.conn == conn {
-						delete(routes, rid)
-					}
-				}
-				mu.Unlock()
-				// Purge the dead session: queued requests are dropped,
-				// running ones cancelled, quota slots released.
-				ep.Send("scheduler", comm.Message{
-					Kind:   "disconnect",
-					Params: map[string]string{"session": sess},
-				})
-			}()
-			for {
-				m, ok := conn.Recv()
-				if !ok {
-					return
-				}
-				switch m.Kind {
-				case "cancel":
-					if rid, ok := byClient[m.ReqID]; ok {
-						ep.Send("scheduler", comm.Message{Kind: "cancel", ReqID: rid})
-					}
-					continue
-				case "ack":
-					// Stream-credit return from the remote consumer.
-					if rid, ok := byClient[m.ReqID]; ok {
-						s.Runtime.AckStream(rid, m.IntParam("rank", 0))
-					}
-					continue
-				case "command":
-				default:
-					continue
-				}
-				rid := s.Runtime.NextReqID()
-				byClient[m.ReqID] = rid
-				mu.Lock()
-				routes[rid] = &routeEntry{conn: conn, clientReq: m.ReqID}
-				mu.Unlock()
-				fwd := m
-				fwd.ReqID = rid
-				fwd.Params = map[string]string{}
-				for k, v := range m.Params {
-					fwd.Params[k] = v
-				}
-				fwd.Params["client"] = bridge
-				fwd.Params["session"] = sess
-				// The TCP reader is not a clock actor, but under the real
-				// clock Send only costs a (tiny) real sleep.
-				if err := ep.Send("scheduler", fwd); err != nil {
-					conn.Send(comm.Message{
-						Kind: "error", ReqID: m.ReqID, Final: true,
-						Params: map[string]string{"error": err.Error()},
-					})
-				}
-			}
-		}()
+		go b.serveConn(comm.NewConn(c))
 	}
 }
 
-type routeEntry struct {
-	conn      *comm.Conn
-	clientReq uint64
-}
-
 // RemoteClient is the TCP counterpart of Client, used by visualization
-// front-ends (and cmd/viracocha-client) against a served System. When
-// MaxReconnects is set, a broken connection is re-dialed with capped
-// exponential backoff: a send that never reached the server is retried
-// transparently, while a connection lost mid-request returns a clear error
-// (the in-flight request cannot be resumed) with the link restored for the
-// next request.
+// front-ends (and cmd/viracocha-client) against a served System.
+//
+// With Resume set, the client opens a durable session (server-issued lease)
+// and a broken connection is re-dialed with jittered capped exponential
+// backoff; the resume handshake carries the acknowledged stream watermark,
+// the server replays exactly the frames the client missed, and the request
+// completes with a result byte-identical to an uninterrupted run.
+//
+// Without Resume, a broken connection is re-dialed (when MaxReconnects is
+// set) but a request in flight at the time of the loss returns a clear
+// error: its replies died with the connection.
 type RemoteClient struct {
 	addr string
+
+	mu   sync.Mutex
 	conn *comm.Conn
 	seq  uint64
 
+	sessionID string
+	epoch     int
+
+	// Resume opts into a durable session: the first request performs a
+	// hello/lease handshake, and connection loss mid-request triggers an
+	// automatic reconnect + exact stream resume instead of an error.
+	Resume bool
 	// MaxReconnects bounds re-dial attempts after a broken connection;
-	// 0 disables reconnection.
+	// 0 disables reconnection (with Resume set, 0 means a default of 5).
 	MaxReconnects int
 	// ReconnectBackoff is the delay before the first re-dial attempt,
 	// doubling per attempt up to ReconnectMaxBackoff. Defaults: 100ms / 5s.
 	ReconnectBackoff    time.Duration
 	ReconnectMaxBackoff time.Duration
 	// OverloadRetries is how many times Run resubmits a command the server
-	// rejected with ErrOverloaded, honoring the server's retry-after hint
-	// with jitter and doubling per attempt. 0 surfaces the rejection to the
-	// caller immediately.
+	// rejected with ErrOverloaded or ErrDraining, honoring the server's
+	// retry-after hint with jitter and doubling per attempt. 0 surfaces the
+	// rejection to the caller immediately.
 	OverloadRetries int
 
 	// jitter draws a uniform value in [0,n) for backoff jitter; tests
@@ -174,7 +98,25 @@ type RemoteClient struct {
 // e.g. a partial-result callback that decided the extraction is useless).
 // The blocked Run returns with the server's cancellation error.
 func (rc *RemoteClient) Cancel() error {
-	return rc.conn.Send(comm.Message{Kind: "cancel", ReqID: rc.seq})
+	rc.mu.Lock()
+	conn, id := rc.conn, rc.seq
+	rc.mu.Unlock()
+	return conn.Send(comm.Message{Kind: "cancel", ReqID: id})
+}
+
+// SessionID reports the server-issued durable session ID (empty before the
+// first handshake, or when Resume is off).
+func (rc *RemoteClient) SessionID() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.sessionID
+}
+
+// Epoch reports the session's current lease epoch (bumped by every resume).
+func (rc *RemoteClient) Epoch() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.epoch
 }
 
 // Dial connects to a served system.
@@ -184,6 +126,17 @@ func Dial(addr string) (*RemoteClient, error) {
 		return nil, err
 	}
 	return &RemoteClient{addr: addr, conn: comm.NewConn(c)}, nil
+}
+
+// DialResume connects with retries and opens a durable session: the client
+// reconnects and resumes in-flight streams exactly after a connection loss.
+func DialResume(addr string, attempts int, backoff time.Duration) (*RemoteClient, error) {
+	rc, err := DialRetry(addr, attempts, backoff)
+	if err != nil {
+		return nil, err
+	}
+	rc.Resume = true
+	return rc, nil
 }
 
 // DialRetry connects to a served system, retrying a failed dial up to
@@ -224,11 +177,12 @@ func DialRetry(addr string, attempts int, backoff time.Duration) (*RemoteClient,
 // Reconnect closes the current connection and re-dials with capped
 // exponential backoff. In-flight requests are lost (the server routes their
 // replies to the dead connection); subsequent requests use the new link.
+// Resume-mode clients reconnect automatically instead.
 func (rc *RemoteClient) Reconnect() error {
 	if rc.MaxReconnects <= 0 {
 		return fmt.Errorf("viracocha: reconnection disabled (MaxReconnects = 0)")
 	}
-	rc.conn.Close()
+	rc.closeConn()
 	delay := rc.ReconnectBackoff
 	if delay <= 0 {
 		delay = 100 * time.Millisecond
@@ -241,7 +195,7 @@ func (rc *RemoteClient) Reconnect() error {
 	for i := 0; i < rc.MaxReconnects; i++ {
 		c, err := net.Dial("tcp", rc.addr)
 		if err == nil {
-			rc.conn = comm.NewConn(c)
+			rc.setConn(comm.NewConn(c))
 			return nil
 		}
 		lastErr = err
@@ -254,8 +208,169 @@ func (rc *RemoteClient) Reconnect() error {
 	return fmt.Errorf("viracocha: reconnect to %s failed after %d attempts: %w", rc.addr, rc.MaxReconnects, lastErr)
 }
 
-// Close shuts the connection down.
-func (rc *RemoteClient) Close() error { return rc.conn.Close() }
+// Close shuts the connection down. A durable session says goodbye first, so
+// the server releases its lease promptly instead of waiting for expiry.
+func (rc *RemoteClient) Close() error {
+	rc.mu.Lock()
+	conn := rc.conn
+	durable := rc.Resume && rc.sessionID != ""
+	rc.mu.Unlock()
+	if durable {
+		conn.Send(comm.Message{Kind: "bye"}) // best-effort lease release
+	}
+	return conn.Close()
+}
+
+// Drain asks the served system to enter drain mode (the remote counterpart
+// of System.Drain): new requests are bounced with ErrDraining while
+// in-flight ones finish. Drain blocks until the server acknowledges — after
+// its drain deadline resolved.
+func (rc *RemoteClient) Drain() error {
+	if err := rc.send(comm.Message{Kind: "drain"}); err != nil {
+		return err
+	}
+	for {
+		m, ok := rc.recv()
+		if !ok {
+			return fmt.Errorf("viracocha: connection lost awaiting drain acknowledgement")
+		}
+		if m.Kind == "drained" {
+			if e := m.Params["error"]; e != "" {
+				return fmt.Errorf("viracocha: drain: %s", e)
+			}
+			return nil
+		}
+	}
+}
+
+func (rc *RemoteClient) send(m comm.Message) error {
+	rc.mu.Lock()
+	conn := rc.conn
+	rc.mu.Unlock()
+	return conn.Send(m)
+}
+
+func (rc *RemoteClient) recv() (comm.Message, bool) {
+	rc.mu.Lock()
+	conn := rc.conn
+	rc.mu.Unlock()
+	return conn.Recv()
+}
+
+func (rc *RemoteClient) closeConn() {
+	rc.mu.Lock()
+	conn := rc.conn
+	rc.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func (rc *RemoteClient) setConn(c *comm.Conn) {
+	rc.mu.Lock()
+	rc.conn = c
+	rc.mu.Unlock()
+}
+
+// ensureSession performs the initial hello/lease handshake for a Resume
+// client (idempotent).
+func (rc *RemoteClient) ensureSession() error {
+	rc.mu.Lock()
+	have := rc.sessionID != ""
+	rc.mu.Unlock()
+	if have {
+		return nil
+	}
+	return rc.handshake(nil)
+}
+
+// handshake sends a hello on the current connection and absorbs the lease
+// reply. marks carries the per-request acknowledged stream watermarks for an
+// exact resume.
+func (rc *RemoteClient) handshake(marks map[uint64]int) error {
+	hello := comm.Message{Kind: "hello", Params: map[string]string{"durable": "1"}}
+	rc.mu.Lock()
+	if rc.sessionID != "" {
+		hello.Params["session"] = rc.sessionID
+		hello.Params["epoch"] = strconv.Itoa(rc.epoch)
+	}
+	rc.mu.Unlock()
+	for id, mk := range marks {
+		hello.Params["mark."+strconv.FormatUint(id, 10)] = strconv.Itoa(mk)
+	}
+	if err := rc.send(hello); err != nil {
+		return err
+	}
+	m, ok := rc.recv()
+	if !ok {
+		return fmt.Errorf("viracocha: connection lost during session handshake")
+	}
+	if m.Kind != "lease" {
+		return fmt.Errorf("viracocha: unexpected %q frame during session handshake", m.Kind)
+	}
+	if m.Params["denied"] == "1" {
+		return fmt.Errorf("%w: %s", ErrResumeDenied, m.Params["error"])
+	}
+	rc.mu.Lock()
+	rc.sessionID = m.Params["session"]
+	rc.epoch = m.IntParam("epoch", 0)
+	rc.mu.Unlock()
+	return nil
+}
+
+// reconnectResume re-dials with jittered capped exponential backoff and
+// re-attaches to the durable session, handing the server reqID's
+// acknowledged watermark so the stream resumes exactly past it. A denial
+// (expired lease, stale epoch) aborts immediately: retrying cannot help.
+func (rc *RemoteClient) reconnectResume(reqID uint64, mark int) error {
+	attempts := rc.MaxReconnects
+	if attempts <= 0 {
+		attempts = 5
+	}
+	delay := rc.ReconnectBackoff
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	max := rc.ReconnectMaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	j := rc.jitter
+	if j == nil {
+		j = rand.Int63n
+	}
+	rc.closeConn()
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(delay + time.Duration(j(int64(delay)/2+1)))
+			delay *= 2
+			if delay > max {
+				delay = max
+			}
+		}
+		c, err := net.Dial("tcp", rc.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rc.setConn(comm.NewConn(c))
+		var marks map[uint64]int
+		if reqID != 0 {
+			marks = map[uint64]int{reqID: mark}
+		}
+		err = rc.handshake(marks)
+		if err == nil {
+			return nil
+		}
+		rc.closeConn()
+		if errors.Is(err, ErrResumeDenied) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("viracocha: reconnect to %s failed after %d attempts: %w", rc.addr, attempts, lastErr)
+}
 
 // Run executes a command remotely. onPartial, when non-nil, is invoked for
 // every streamed partial as it arrives, before the final merged result is
@@ -263,16 +378,25 @@ func (rc *RemoteClient) Close() error { return rc.conn.Close() }
 // re-streamed by a server-side failover are deduplicated, so the merged
 // result matches a fault-free run.
 //
-// A server-side admission rejection (ErrOverloaded) is retried up to
-// OverloadRetries times, sleeping the server's retry-after hint (doubled per
-// attempt, with jitter) between submissions.
+// A server-side admission rejection (ErrOverloaded) or drain bounce
+// (ErrDraining) is retried up to OverloadRetries times, sleeping the
+// server's retry-after hint (doubled per attempt, with jitter) between
+// submissions — a client that keeps retrying across a graceful restart
+// lands on the revived server.
 func (rc *RemoteClient) Run(command string, params map[string]string, onPartial func(seq int, m *Mesh)) (*Mesh, error) {
 	for try := 0; ; try++ {
 		m, err := rc.runOnce(command, params, onPartial)
-		var oe *core.OverloadedError
-		if err != nil && errors.As(err, &oe) && try < rc.OverloadRetries {
-			time.Sleep(rc.overloadBackoff(oe.RetryAfter, try))
-			continue
+		if err != nil && try < rc.OverloadRetries {
+			var oe *core.OverloadedError
+			var de *core.DrainingError
+			switch {
+			case errors.As(err, &oe):
+				time.Sleep(rc.overloadBackoff(oe.RetryAfter, try))
+				continue
+			case errors.As(err, &de):
+				time.Sleep(rc.overloadBackoff(de.RetryAfter, try))
+				continue
+			}
 		}
 		return m, err
 	}
@@ -299,20 +423,35 @@ func (rc *RemoteClient) overloadBackoff(hint time.Duration, try int) time.Durati
 }
 
 func (rc *RemoteClient) runOnce(command string, params map[string]string, onPartial func(seq int, m *Mesh)) (*Mesh, error) {
+	rc.mu.Lock()
 	rc.seq++
-	req := comm.Message{Kind: "command", Command: command, ReqID: rc.seq, Params: params}
-	if err := rc.conn.Send(req); err != nil {
+	reqID := rc.seq
+	rc.mu.Unlock()
+	if rc.Resume {
+		if err := rc.ensureSession(); err != nil {
+			return nil, err
+		}
+	}
+	req := comm.Message{Kind: "command", Command: command, ReqID: reqID, Params: params}
+	if err := rc.send(req); err != nil {
 		// The command never reached the server: reconnecting and resending
 		// is safe.
-		if rerr := rc.Reconnect(); rerr != nil {
-			return nil, fmt.Errorf("viracocha: send failed (%v); %w", err, rerr)
+		if rc.Resume {
+			if rerr := rc.reconnectResume(reqID, 0); rerr != nil {
+				return nil, fmt.Errorf("viracocha: send failed (%v); %w", err, rerr)
+			}
+		} else {
+			if rerr := rc.Reconnect(); rerr != nil {
+				return nil, fmt.Errorf("viracocha: send failed (%v); %w", err, rerr)
+			}
 		}
-		if err := rc.conn.Send(req); err != nil {
+		if err := rc.send(req); err != nil {
 			return nil, err
 		}
 	}
 	merged := &mesh.Mesh{}
 	attempt := 0
+	mark := 0 // highest stream sequence received; the resume watermark
 	type packetKey struct{ rank, seq int }
 	type blockKey struct{ block, bseq int }
 	seen := map[packetKey]bool{}
@@ -336,9 +475,28 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 			merged.Append(tagged[k])
 		}
 	}
+	// sendDone tells the server the stream was fully consumed, so it can
+	// retire the request's replay buffer (durable sessions; best-effort).
+	sendDone := func() {
+		if rc.Resume {
+			rc.send(comm.Message{Kind: "done", ReqID: reqID})
+		}
+	}
 	for {
-		m, ok := rc.conn.Recv()
+		m, ok := rc.recv()
 		if !ok {
+			if rc.Resume {
+				// Re-attach and resume exactly past the acknowledged
+				// watermark: the server replays what was lost in flight and
+				// the request keeps computing server-side throughout.
+				if rerr := rc.reconnectResume(reqID, mark); rerr != nil {
+					return nil, fmt.Errorf("viracocha: connection lost mid-request; %w", rerr)
+				}
+				// Re-send the command in case the original never arrived; a
+				// request the server already knows is deduplicated.
+				rc.send(req) // a second loss here loops back through resume
+				continue
+			}
 			// The request's replies are bound to the dead connection and
 			// cannot be recovered; restore the link for the next request.
 			if rerr := rc.Reconnect(); rerr != nil {
@@ -346,8 +504,11 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 			}
 			return nil, fmt.Errorf("viracocha: connection lost mid-request (reconnected; resubmit the command)")
 		}
-		if m.ReqID != rc.seq {
+		if m.ReqID != reqID {
 			continue // stale message from an abandoned request
+		}
+		if s := m.IntParam("sseq", 0); s > mark {
+			mark = s
 		}
 		att := m.IntParam("attempt", attempt)
 		if att < attempt {
@@ -362,10 +523,15 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 		switch m.Kind {
 		case "partial":
 			// Return the stream credit before anything else: even discarded
-			// duplicates were consumed off the wire.
-			rc.conn.Send(comm.Message{
-				Kind: "ack", ReqID: rc.seq,
-				Params: map[string]string{"rank": strconv.Itoa(m.IntParam("rank", 0))},
+			// duplicates were consumed off the wire. The echoed sseq lets the
+			// server tell a fresh frame's ack from a replayed frame's (whose
+			// credit it already returned itself).
+			rc.send(comm.Message{
+				Kind: "ack", ReqID: reqID,
+				Params: map[string]string{
+					"rank": strconv.Itoa(m.IntParam("rank", 0)),
+					"sseq": strconv.Itoa(m.IntParam("sseq", 0)),
+				},
 			})
 			if bv, ok := m.Params["block"]; ok {
 				block, cerr := strconv.Atoi(bv)
@@ -406,10 +572,18 @@ func (rc *RemoteClient) runOnce(command string, params map[string]string, onPart
 			}
 			mergeTagged()
 			merged.Append(final)
+			sendDone()
 			return merged, nil
 		case "error":
-			if m.Params["overloaded"] == "1" {
+			sendDone()
+			switch {
+			case m.Params["overloaded"] == "1":
 				return merged, &core.OverloadedError{
+					Reason:     m.Params["error"],
+					RetryAfter: time.Duration(m.IntParam("retry_after_ms", 0)) * time.Millisecond,
+				}
+			case m.Params["draining"] == "1":
+				return merged, &core.DrainingError{
 					Reason:     m.Params["error"],
 					RetryAfter: time.Duration(m.IntParam("retry_after_ms", 0)) * time.Millisecond,
 				}

@@ -12,6 +12,7 @@ package viracocha
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"viracocha/internal/commands"
@@ -47,6 +48,9 @@ type (
 	// OverloadedError is a typed admission rejection carrying the server's
 	// retry-after hint.
 	OverloadedError = core.OverloadedError
+	// DrainingError is a typed drain-mode rejection carrying the server's
+	// retry-after hint: the server is gracefully shutting down.
+	DrainingError = core.DrainingError
 	// BudgetStats is a snapshot of the DMS memory budget's accounting.
 	BudgetStats = dms.BudgetStats
 	// FaultPlan is a seeded, deterministic fault-injection scenario.
@@ -65,6 +69,10 @@ var ErrOverloaded = core.ErrOverloaded
 // ErrSlowConsumer marks requests cancelled because their client stopped
 // acknowledging streamed partials.
 var ErrSlowConsumer = core.ErrSlowConsumer
+
+// ErrDraining marks requests bounced because the server is draining for a
+// graceful shutdown; the typed DrainingError carries a retry-after hint.
+var ErrDraining = core.ErrDraining
 
 // DefaultFTConfig returns the fault-tolerance defaults (250ms heartbeats, 2s
 // failure window, 2 retries with 100ms→5s backoff; block-granular
@@ -112,6 +120,14 @@ type Options struct {
 	// drop/duplication/delay, worker crashes at given virtual times,
 	// storage read errors. Nil means a fault-free system.
 	Faults *FaultPlan
+	// SessionLease is how long a durable TCP session survives without a
+	// connection (or a renewal) before it is purged; zero means the 30s
+	// default. Only meaningful for served systems.
+	SessionLease time.Duration
+	// DrainTimeout bounds System.Drain (and the remote drain trigger): how
+	// long in-flight requests get to finish before the drain gives up; zero
+	// means a 10s default.
+	DrainTimeout time.Duration
 }
 
 // System is one Viracocha instance: scheduler, workers, DMS and data sets.
@@ -121,6 +137,9 @@ type System struct {
 
 	opts    Options
 	started bool
+
+	bmu sync.Mutex
+	br  *sessionBridge // durable TCP session bridge (lazily built)
 }
 
 // New assembles a system with the paper's command set registered. Register
