@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz overload soak bench benchcmp check clean
+.PHONY: all build test race vet fuzz overload soak churn bench benchcmp check clean
 
 all: check
 
@@ -34,6 +34,15 @@ soak:
 	$(GO) test -race -count=1 -run 'TestSpan|TestStraggler|TestDuplicateRedispatch|TestTagged|TestRedistributeOff|TestWatermark' ./internal/core/
 	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 -v -run 'TestReconnectStorm' .
 
+# Self-healing membership soak under the race detector: CHURN_SEEDS seeded
+# churn timelines (mid-request crash with a planned reboot, optional flapper,
+# warm standby) each checked byte-identical against a fault-free reference,
+# plus the targeted rejoin/fencing/quarantine/standby/rolling-restart suite.
+CHURN_SEEDS ?= 16
+churn:
+	CHURN_SEEDS=$(CHURN_SEEDS) $(GO) test -race -count=1 -v -run 'TestChurnSoak' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestRejoin|TestEpochFencing|TestFlapping|TestQuarantine|TestStandby|TestRollingRestart' ./internal/core/
+
 vet:
 	$(GO) vet ./...
 
@@ -59,7 +68,7 @@ benchcmp:
 fuzz:
 	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeMutated -fuzztime=10s
 
-check: vet build test race
+check: vet build test race churn
 
 clean:
 	$(GO) clean ./...

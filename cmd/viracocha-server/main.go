@@ -42,6 +42,10 @@ func main() {
 		retries   = flag.Int("retries", -1, "per-request recovery retry budget (-1 = default 2)")
 		redistrib = flag.Bool("redistribute", false, "block-granular recovery: journal per-rank progress and re-issue only a dead rank's unfinished blocks (requests override with redistribute=0/1)")
 		stragglerF = flag.Float64("straggler-factor", 0, "speculatively re-run a rank whose completed-block count times this factor trails the group median (0 = off; needs -redistribute)")
+		rejoin     = flag.Bool("rejoin", false, "self-healing membership: reboot crashed workers under a new epoch and re-admit them to the pool (also required for the roll RPC)")
+		standby    = flag.Int("standby", 0, "warm standby workers kept out of dispatch and promoted when a live rank dies (needs -rejoin for the dead rank to come back as the new standby)")
+		quarantine = flag.Float64("quarantine", 0, "quarantine a rejoining worker whose decayed crash score is at least this (0 = off); flappers sit out an escalating hold-down before probation")
+		quarHold   = flag.Duration("quarantine-hold", 0, "base quarantine hold-down, doubled per repeat offense (0 = default 4x fail-after)")
 		maxQueue  = flag.Int("max-queue", 256, "max queued requests before rejecting with overloaded (0 = unlimited)")
 		quota     = flag.Int("session-quota", 32, "max in-flight requests per client session (0 = unlimited)")
 		memBudget = flag.Int64("mem-budget", 0, "DMS byte budget across all cache tiers (0 = unlimited)")
@@ -53,7 +57,7 @@ func main() {
 		snapshot  = flag.String("snapshot", "", "session snapshot file: restored on start when present, written on graceful shutdown so a restarted server honors client resumes")
 		faultSpec faultList
 	)
-	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR, lag:NODE:FACTOR, discon:SESSION:AFTER_MSGS, hang:SESSION")
+	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, recover:NODE@DUR, flap:NODE:PERIOD, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR, lag:NODE:FACTOR, discon:SESSION:AFTER_MSGS, hang:SESSION")
 	flag.Parse()
 
 	opts := viracocha.Options{
@@ -65,7 +69,8 @@ func main() {
 		SessionLease:     *lease,
 		DrainTimeout:     *drainTmo,
 	}
-	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 || *redistrib || *stragglerF > 0 {
+	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 || *redistrib || *stragglerF > 0 ||
+		*rejoin || *standby > 0 || *quarantine > 0 {
 		ft := viracocha.DefaultFTConfig()
 		if *heartbeat > 0 {
 			ft.HeartbeatEvery = *heartbeat
@@ -78,6 +83,10 @@ func main() {
 		}
 		ft.Redistribute = *redistrib
 		ft.StragglerFactor = *stragglerF
+		ft.Rejoin = *rejoin
+		ft.Standby = *standby
+		ft.QuarantineAfter = *quarantine
+		ft.QuarantineHold = *quarHold
 		opts.FT = &ft
 	}
 	opts.Overload = &viracocha.OverloadConfig{

@@ -593,6 +593,18 @@ func (b *sessionBridge) handleFrame(sess *liveSession, conn *comm.Conn, m comm.M
 			}
 			conn.Send(reply)
 		}()
+	case "roll":
+		// Admin trigger for a rolling worker restart; acknowledged once the
+		// whole pool has been cycled (or a node missed its drain/rejoin
+		// deadline).
+		go func() {
+			err := b.sys.Roll(b.sys.opts.DrainTimeout)
+			reply := comm.Message{Kind: "rolled", Params: map[string]string{}}
+			if err != nil {
+				reply.Params["error"] = err.Error()
+			}
+			conn.Send(reply)
+		}()
 	}
 	return true
 }
@@ -758,6 +770,28 @@ func (s *System) Drain(timeout time.Duration) error {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// Roll restarts the worker pool one node at a time — cordon, drain, kill,
+// reboot, rejoin — with every in-flight and subsequent request completing
+// normally (a rolling restart for in-place upgrades and leak hygiene). It
+// requires Options.FT.Rejoin and blocks until the whole pool has been cycled
+// or a node misses its per-node timeout (0 means the Options.DrainTimeout
+// default). Remote admins can trigger it through RemoteClient.Roll.
+func (s *System) Roll(timeout time.Duration) error {
+	if _, ok := s.Clock.(*vclock.Real); !ok {
+		return fmt.Errorf("viracocha: Roll requires a real-clock system (virtual-time tests call Runtime.Roll from an actor)")
+	}
+	if !s.started {
+		s.Start()
+	}
+	if timeout <= 0 {
+		timeout = s.opts.DrainTimeout
+	}
+	if timeout <= 0 {
+		timeout = defaultDrainTimeout
+	}
+	return s.Runtime.Roll(timeout)
 }
 
 // SnapshotSessions serializes the durable-session state (leases, retained

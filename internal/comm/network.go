@@ -80,6 +80,25 @@ func (n *Network) Endpoint(name string) *Endpoint {
 	return e
 }
 
+// Replace installs a fresh endpoint for the named node, superseding any
+// existing one — the restarted node's new NIC. Senders resolve destinations
+// by name on every Send, so they transparently reach the replacement; actors
+// still holding the old endpoint keep reading its (closed, drained) inbox
+// and sending through it, which charges them normally but delivers to the
+// new incarnation — exactly what a rebooted host looks like from outside.
+func (n *Network) Replace(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := &Endpoint{
+		name:   name,
+		net:    n,
+		inbox:  vclock.NewQueue[Message](n.Clock),
+		inLink: vclock.NewSemaphore(n.Clock, 1),
+	}
+	n.nodes[name] = e
+	return e
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (n *Network) Stats() NetworkStats {
 	n.mu.Lock()

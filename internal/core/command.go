@@ -34,6 +34,12 @@ type Probes struct {
 type Ctx struct {
 	rt     *Runtime
 	worker *Worker
+	// ep, epoch and proxy pin this execution to the worker incarnation that
+	// started it: a fenced incarnation's unwind keeps sending through its own
+	// (dead) NIC and reading its own (dropped) proxy, never the respawn's.
+	ep    *comm.Endpoint
+	epoch int
+	proxy *dms.Proxy
 
 	// Req is the originating request message; command parameters are read
 	// from it.
@@ -96,7 +102,7 @@ func (c *Ctx) Interrupted() error {
 func (c *Ctx) Journaling() bool { return c.IntParam("journal", 0) != 0 }
 
 // Proxy returns this worker's DMS proxy.
-func (c *Ctx) Proxy() *dms.Proxy { return c.worker.proxy }
+func (c *Ctx) Proxy() *dms.Proxy { return c.proxy }
 
 // Clock exposes the runtime clock for commands that price custom work.
 func (c *Ctx) Clock() interface{ Now() time.Duration } { return c.rt.Clock }
@@ -124,12 +130,12 @@ func (c *Ctx) Load(id grid.BlockID) (*grid.Block, error) {
 	if c.Cancelled() {
 		return nil, ErrCancelled
 	}
-	before := c.worker.proxy.UncachedLoads()
+	before := c.proxy.UncachedLoads()
 	start := c.rt.Clock.Now()
-	b, err := c.worker.proxy.Get(id)
+	b, err := c.proxy.Get(id)
 	c.probes.Read += c.rt.Clock.Now() - start
 	c.worker.checkCrashed()
-	c.uncached += int(c.worker.proxy.UncachedLoads() - before)
+	c.uncached += int(c.proxy.UncachedLoads() - before)
 	if err == nil && c.Cancelled() {
 		return nil, ErrCancelled
 	}
@@ -142,7 +148,7 @@ func (c *Ctx) LoadCoarse(id grid.BlockID, level int) (*grid.Block, error) {
 		return nil, ErrCancelled
 	}
 	start := c.rt.Clock.Now()
-	b, err := c.worker.proxy.GetCoarse(id, level)
+	b, err := c.proxy.GetCoarse(id, level)
 	c.probes.Read += c.rt.Clock.Now() - start
 	c.worker.checkCrashed()
 	if err == nil && c.Cancelled() {
@@ -173,7 +179,7 @@ func (c *Ctx) LoadRaw(id grid.BlockID) (*grid.Block, error) {
 }
 
 // Prefetch issues an explicit (code) prefetch through the DMS.
-func (c *Ctx) Prefetch(id grid.BlockID) { c.worker.proxy.Prefetch(id) }
+func (c *Ctx) Prefetch(id grid.BlockID) { c.proxy.Prefetch(id) }
 
 // IndexEnabled reports whether the min/max acceleration-index path is on for
 // this request: the "index" parameter overrides the server-wide default
@@ -191,7 +197,7 @@ func (c *Ctx) IndexEnabled() bool {
 // cached too, so the demand request that follows finds both hot.
 func (c *Ctx) PrefetchIndexed(id grid.BlockID, field string) {
 	c.worker.setIndexField(field)
-	c.worker.proxy.Prefetch(id)
+	c.proxy.Prefetch(id)
 }
 
 // CachedMinMax returns the min/max index for (id, field) when some proxy
@@ -200,7 +206,7 @@ func (c *Ctx) PrefetchIndexed(id grid.BlockID, field string) {
 // Combined with MinMaxIndex.BlockExcludes this lets a command prove a block
 // cannot intersect the surface before paying any I/O to load it.
 func (c *Ctx) CachedMinMax(id grid.BlockID, field string) (*grid.MinMaxIndex, bool) {
-	e, ok := c.worker.proxy.GetDerived(dms.IndexItem(id, field))
+	e, ok := c.proxy.GetDerived(dms.IndexItem(id, field))
 	if !ok {
 		return nil, false
 	}
@@ -215,14 +221,14 @@ func (c *Ctx) CachedMinMax(id grid.BlockID, field string) (*grid.MinMaxIndex, bo
 // the cache; a budget refusal just means the next request rebuilds.
 func (c *Ctx) MinMaxIndex(b *grid.Block, field string, vals []float32) *grid.MinMaxIndex {
 	name := dms.IndexItem(b.ID, field)
-	if e, ok := c.worker.proxy.GetDerived(name); ok {
+	if e, ok := c.proxy.GetDerived(name); ok {
 		if idx, ok := e.(*grid.MinMaxIndex); ok {
 			return idx
 		}
 	}
 	idx := grid.BuildMinMax(b, field, vals)
 	c.Charge(c.Cost.IndexCost(b.NumNodes()))
-	c.worker.proxy.PutDerived(name, idx)
+	c.proxy.PutDerived(name, idx)
 	return idx
 }
 
@@ -234,7 +240,7 @@ func (c *Ctx) MinMaxIndex(b *grid.Block, field string, vals []float32) *grid.Min
 // by the extraction scan).
 func (c *Ctx) BSPTree(b *grid.Block, field string) *grid.BSPTree {
 	name := dms.BSPItem(b.ID, field)
-	if e, ok := c.worker.proxy.GetDerived(name); ok {
+	if e, ok := c.proxy.GetDerived(name); ok {
 		if t, ok := e.(*grid.BSPTree); ok {
 			return t
 		}
@@ -244,7 +250,7 @@ func (c *Ctx) BSPTree(b *grid.Block, field string) *grid.BSPTree {
 	// The cached tree must not pin the (evictable) block it was built from;
 	// traversal only reads the prebuilt node ranges.
 	t.ReleaseBlock()
-	c.worker.proxy.PutDerived(name, t)
+	c.proxy.PutDerived(name, t)
 	return t
 }
 
@@ -320,7 +326,7 @@ func (c *Ctx) streamPartial(m *mesh.Mesh, block, bseq int, tagged bool) error {
 		msg.Params["bseq"] = strconv.Itoa(bseq)
 	}
 	start := c.rt.Clock.Now()
-	err := c.worker.ep.Send(c.ClientEndpoint(), msg)
+	err := c.ep.Send(c.ClientEndpoint(), msg)
 	c.probes.Send += c.rt.Clock.Now() - start
 	c.worker.checkCrashed()
 	return err
@@ -350,7 +356,7 @@ func (c *Ctx) Progress(done, total int) {
 		},
 	}
 	start := c.rt.Clock.Now()
-	if err := c.worker.ep.Send(c.ClientEndpoint(), msg); err != nil {
+	if err := c.ep.Send(c.ClientEndpoint(), msg); err != nil {
 		c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
 			"req %d: progress send failed: %v", c.Req.ReqID, err)
 	}
@@ -475,7 +481,7 @@ func (c *Ctx) declareSpan(items []int, streamed bool) {
 		return
 	}
 	c.worker.checkCrashed()
-	c.worker.beginJournal(c.Req.ReqID, c.Rank, c.attempt)
+	c.worker.beginJournal(c.epoch, c.Req.ReqID, c.Rank, c.attempt)
 	st := "0"
 	if streamed {
 		st = "1"
@@ -486,13 +492,14 @@ func (c *Ctx) declareSpan(items []int, streamed bool) {
 		ReqID:   c.Req.ReqID,
 		Params: map[string]string{
 			"worker":   c.worker.node,
+			"wepoch":   strconv.Itoa(c.epoch),
 			"rank":     strconv.Itoa(c.Rank),
 			"attempt":  strconv.Itoa(c.attempt),
 			"span":     comm.EncodeIntList(items),
 			"streamed": st,
 		},
 	}
-	if err := c.worker.ep.Send("scheduler", msg); err != nil {
+	if err := c.ep.Send("scheduler", msg); err != nil {
 		c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
 			"req %d: span declaration send failed: %v", c.Req.ReqID, err)
 	}
@@ -508,19 +515,20 @@ func (c *Ctx) BlockDone(item int) {
 		return
 	}
 	c.worker.checkCrashed()
-	c.worker.markDone(item)
+	c.worker.markDone(c.epoch, item)
 	msg := comm.Message{
 		Kind:    "wmark",
 		Command: c.Req.Command,
 		ReqID:   c.Req.ReqID,
 		Params: map[string]string{
 			"worker":  c.worker.node,
+			"wepoch":  strconv.Itoa(c.epoch),
 			"rank":    strconv.Itoa(c.Rank),
 			"attempt": strconv.Itoa(c.attempt),
 			"item":    strconv.Itoa(item),
 		},
 	}
-	if err := c.worker.ep.Send("scheduler", msg); err != nil {
+	if err := c.ep.Send("scheduler", msg); err != nil {
 		c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
 			"req %d: watermark send failed: %v", c.Req.ReqID, err)
 	}

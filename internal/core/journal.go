@@ -101,12 +101,14 @@ func (j *blockJournal) medianDone() (int, bool) {
 
 // CheckInvariants verifies the scheduler's worker-state bookkeeping: the
 // free list holds only free workers without duplicates, every busy ref
-// points at a worker in the busy state, and dead workers appear in neither
-// set. Transients are deliberately tolerated — an old-attempt executor stays
+// points at a worker in the busy state, and workers outside the schedulable
+// states — dead, standby, quarantined or cordoned — appear in neither set.
+// Transients are deliberately tolerated — an old-attempt executor stays
 // busy until its stale completion arrives, and a superseded speculation
 // loser may outlive the request it raced on. The fault-scenario and soak
 // suites call it after every recovery timeline; a violation means a
-// redispatch or declareDead interleaving resurrected stale state.
+// redispatch, declareDead or membership-change interleaving resurrected
+// stale state.
 func (s *Scheduler) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -132,14 +134,24 @@ func (s *Scheduler) CheckInvariants() error {
 		}
 	}
 	for n, st := range s.state {
-		if st != wsDead {
+		var kind string
+		switch st {
+		case wsDead:
+			kind = "dead"
+		case wsStandby:
+			kind = "standby"
+		case wsQuarantined:
+			kind = "quarantined"
+		case wsCordoned:
+			kind = "cordoned"
+		default:
 			continue
 		}
 		if seen[n] {
-			return fmt.Errorf("core: dead worker %s on the free list", n)
+			return fmt.Errorf("core: %s worker %s on the free list", kind, n)
 		}
 		if _, busy := s.busy[n]; busy {
-			return fmt.Errorf("core: dead worker %s still busy", n)
+			return fmt.Errorf("core: %s worker %s still busy", kind, n)
 		}
 	}
 	return nil

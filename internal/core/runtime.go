@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"viracocha/internal/comm"
@@ -54,6 +55,28 @@ type FTConfig struct {
 	// re-issued to an idle worker; the first completion wins and the loser is
 	// superseded. <= 1 disables speculation.
 	StragglerFactor float64
+	// Rejoin lets previously-dead workers register again via the join
+	// handshake (with epoch fencing of their old incarnation). Off preserves
+	// the legacy fail-stop semantics: dead is forever.
+	Rejoin bool
+	// QuarantineAfter is the decayed crash-score threshold at which a
+	// rejoining node is quarantined (admitted but not scheduled) instead of
+	// readmitted; <= 0 disables quarantine. Each crash charges 1 to the
+	// node's score, which halves every HealthHalfLife.
+	QuarantineAfter float64
+	// QuarantineHold is the base hold-down a quarantined node serves before
+	// probation; it doubles with every consecutive quarantine (escalation,
+	// capped at 64x). <= 0 defaults to 4*FailAfter.
+	QuarantineHold time.Duration
+	// HealthHalfLife is the decay half-life of the crash score; <= 0
+	// defaults to 30s.
+	HealthHalfLife time.Duration
+	// Standby is the number of extra reserve workers the runtime creates
+	// beyond Config.Workers: they run and heartbeat but are only promoted
+	// into the dispatch pool when a scheduled worker dies (restoring
+	// LiveWorkers to target strength). Requires Rejoin-style membership to
+	// be useful but works independently.
+	Standby int
 }
 
 // DefaultFTConfig returns the fault-tolerance defaults: 250ms heartbeats,
@@ -131,6 +154,18 @@ type Runtime struct {
 	faults *faults.Injector
 	flow   *flowControl
 
+	// jitterSeed/jitterSeq drive the scheduler's reproducible backoff jitter:
+	// each draw hashes (seed, counter) through the fault plan's mixer, so a
+	// seeded scenario replays the same jitter regardless of interleaving.
+	jitterSeed uint64
+	jitterSeq  atomic.Uint64
+
+	// stopMu serializes worker revival against the scheduler's final
+	// shutdown broadcast: once stopping is set no new incarnation may spawn,
+	// or its actor loop would outlive the shutdown and hang Clock.Wait.
+	stopMu   sync.Mutex
+	stopping bool
+
 	mu         sync.Mutex
 	registry   map[string]Command
 	devices    map[string]*storage.Device
@@ -176,17 +211,40 @@ func NewRuntime(c vclock.Clock, cfg Config) *Runtime {
 		// comm.FaultInjector interface value.
 		rt.Net.Faults = cfg.Faults
 	}
+	rt.jitterSeed = 1
+	if s := cfg.Faults.Seed(); s != 0 {
+		rt.jitterSeed = s
+	}
 	rt.DMS = dms.NewServer(c, cfg.DMS)
 	rt.Sched = newScheduler(rt)
-	for i := 0; i < cfg.Workers; i++ {
+	if cfg.FT.Standby < 0 {
+		cfg.FT.Standby = 0
+		rt.cfg.FT.Standby = 0
+	}
+	for i := 0; i < cfg.Workers+cfg.FT.Standby; i++ {
 		node := fmt.Sprintf("w%d", i)
 		var pf prefetch.Prefetcher
 		if cfg.PrefetcherFor != nil {
 			pf = cfg.PrefetcherFor(node)
 		}
-		rt.Workers = append(rt.Workers, newWorker(rt, node, pf))
+		w := newWorker(rt, node, pf)
+		if i >= cfg.Workers {
+			w.standby = true
+		}
+		rt.Workers = append(rt.Workers, w)
 	}
 	return rt
+}
+
+// targetWorkers is the configured dispatch strength: standbys exist to keep
+// this many workers schedulable, not to raise it.
+func (rt *Runtime) targetWorkers() int { return rt.cfg.Workers }
+
+// jitterFrac draws the next reproducible uniform value in [0,1) from the
+// runtime's seeded jitter stream.
+func (rt *Runtime) jitterFrac() float64 {
+	seq := rt.jitterSeq.Add(1)
+	return float64(faults.Mix64(rt.jitterSeed^seq*0x9e3779b97f4a7c15)>>11) / float64(1<<53)
 }
 
 // RegisterDataset makes a data set available to commands.
@@ -347,9 +405,9 @@ func (rt *Runtime) NextClientID() uint64 {
 }
 
 // Start spawns the scheduler and worker actors — plus, when a fault plan
-// schedules worker crashes, one timer actor per doomed worker that
-// fail-stops it at the planned virtual time. The runtime runs until
-// Shutdown.
+// schedules worker crashes, recoveries or flapping, one timer actor per
+// planned event stream that fail-stops or reboots the worker at the planned
+// virtual times. The runtime runs until Shutdown.
 func (rt *Runtime) Start() {
 	for _, w := range rt.Workers {
 		w.start()
@@ -357,11 +415,122 @@ func (rt *Runtime) Start() {
 			w := w
 			rt.Clock.Go(func() {
 				rt.Clock.Sleep(at)
-				w.crash("fault plan")
+				if !rt.isStopping() && !w.stopped.Load() {
+					w.crash("fault plan")
+				}
+			})
+		}
+		if at, planned := rt.faults.RecoverTime(w.node); planned {
+			w := w
+			rt.Clock.Go(func() {
+				rt.Clock.Sleep(at)
+				rt.reviveWorker(w)
+			})
+		}
+		if period, planned := rt.faults.FlapPeriod(w.node); planned {
+			w := w
+			rt.Clock.Go(func() {
+				for {
+					rt.Clock.Sleep(period)
+					if rt.isStopping() || w.stopped.Load() {
+						return
+					}
+					w.crash("fault plan: flap")
+					rt.Clock.Sleep(period)
+					if !rt.reviveWorker(w) {
+						return
+					}
+				}
 			})
 		}
 	}
 	rt.Sched.start()
+}
+
+// isStopping reports whether the scheduler has begun its final shutdown
+// broadcast; no new worker incarnation may spawn past this point.
+func (rt *Runtime) isStopping() bool {
+	rt.stopMu.Lock()
+	defer rt.stopMu.Unlock()
+	return rt.stopping
+}
+
+// noteStopping latches the stopping flag. The scheduler sets it before
+// broadcasting shutdown to the worker set, so every incarnation that exists
+// afterwards is guaranteed to receive the broadcast.
+func (rt *Runtime) noteStopping() {
+	rt.stopMu.Lock()
+	rt.stopping = true
+	rt.stopMu.Unlock()
+}
+
+// reviveWorker reboots a dead worker as a fresh incarnation (see
+// Worker.respawn) and reports whether it did. Refused when membership is
+// static (FT.Rejoin off — dead is forever), when the worker is not actually
+// dead, or when the runtime is already shutting down (a late incarnation
+// would outlive the scheduler's shutdown broadcast and hang the clock).
+func (rt *Runtime) reviveWorker(w *Worker) bool {
+	rt.stopMu.Lock()
+	defer rt.stopMu.Unlock()
+	if !rt.cfg.FT.Rejoin || rt.stopping || !w.dead.Load() || w.stopped.Load() {
+		return false
+	}
+	w.respawn()
+	return true
+}
+
+// Roll restarts the worker pool one node at a time: cordon the rank (no new
+// work), wait for its in-flight execution to drain and its journal marks to
+// flush (the wdone path), kill it, reboot it, and wait for the rejoin before
+// moving on — a rolling restart with all requests completing normally.
+// timeout bounds each node's drain+rejoin; requires FT.Rejoin. Must run in a
+// context where fabric sends are legal (an actor, or any goroutine under the
+// real clock).
+func (rt *Runtime) Roll(timeout time.Duration) error {
+	if !rt.cfg.FT.Rejoin {
+		return fmt.Errorf("core: roll needs FT.Rejoin enabled")
+	}
+	poll := rt.cfg.FT.HeartbeatEvery
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	ctl := rt.Net.Endpoint("control.roll")
+	for _, w := range rt.Workers {
+		if w.Dead() {
+			continue // already down; its own rejoin path owns it
+		}
+		deadline := rt.Clock.Now() + timeout
+		ctl.Send("scheduler", comm.Message{Kind: "cordon",
+			Params: map[string]string{"worker": w.node}})
+		for rt.Sched.workerState(w.node) != wsCordoned {
+			if rt.Clock.Now() >= deadline {
+				return fmt.Errorf("core: roll: %s did not drain within %v", w.node, timeout)
+			}
+			rt.Clock.Sleep(poll)
+		}
+		ctl.Send("scheduler", comm.Message{Kind: "decommission",
+			Params: map[string]string{"worker": w.node}})
+		for !w.Dead() {
+			if rt.Clock.Now() >= deadline {
+				return fmt.Errorf("core: roll: %s did not stop within %v", w.node, timeout)
+			}
+			rt.Clock.Sleep(poll)
+		}
+		if !rt.reviveWorker(w) {
+			return fmt.Errorf("core: roll: could not reboot %s", w.node)
+		}
+		for {
+			st := rt.Sched.workerState(w.node)
+			if st == wsFree || st == wsBusy || st == wsStandby {
+				break
+			}
+			if rt.Clock.Now() >= deadline {
+				return fmt.Errorf("core: roll: %s did not rejoin within %v", w.node, timeout)
+			}
+			rt.Clock.Sleep(poll)
+		}
+	}
+	return nil
 }
 
 // killWorker fences a worker the failure detector has declared dead: even

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -51,11 +52,33 @@ func (s RequestStats) TotalRuntime() time.Duration { return s.End - s.Started }
 
 // Worker states as tracked by the scheduler. The zero value is wsFree so an
 // unknown node name (stray message) defaults to a harmless state.
+// Membership walks free/busy → dead → (rejoin) → free, standby or
+// quarantined; cordoned is the administrative drain state of a rolling
+// restart. Only wsFree and wsBusy count toward dispatch strength.
 const (
 	wsFree = iota
 	wsBusy
 	wsDead
+	// wsStandby: alive and heartbeating, held in reserve; promoted to wsFree
+	// when a schedulable worker dies (warm standby replacement).
+	wsStandby
+	// wsQuarantined: readmitted after rejoining but crash-prone; not
+	// scheduled until its escalating hold-down expires (probation).
+	wsQuarantined
+	// wsCordoned: administratively drained for a rolling restart; alive but
+	// receiving no new work, awaiting decommission.
+	wsCordoned
 )
+
+// nodeHealth is the decaying per-node crash history behind quarantine
+// decisions: score decays with HealthHalfLife, every death charges 1, and
+// holdLevel escalates the quarantine hold-down on repeat offenders.
+type nodeHealth struct {
+	score     float64
+	at        time.Duration // when score was last rebased
+	holdLevel int           // consecutive quarantines served
+	holdUntil time.Duration // quarantine release time (while wsQuarantined)
+}
 
 // busyRef records which piece of which request a busy worker is executing.
 type busyRef struct {
@@ -101,6 +124,15 @@ type Scheduler struct {
 	free       []string
 	lastSeen   map[string]time.Duration
 	idleStreak map[string]int
+	// epochs records each node's admitted incarnation number; frames
+	// stamped with an older wepoch come from a fenced incarnation and are
+	// dropped (rejoin epoch fencing).
+	epochs map[string]int
+	// health is the decaying crash-score ledger behind quarantine.
+	health map[string]*nodeHealth
+	// cordonPending marks busy workers whose cordon (rolling restart) waits
+	// for the in-flight rank to drain.
+	cordonPending map[string]bool
 	pending    msgRing
 	active     map[uint64]*activeReq
 	finished   map[uint64]RequestStats
@@ -148,25 +180,33 @@ func (ar *activeReq) clientName() string {
 
 func newScheduler(rt *Runtime) *Scheduler {
 	return &Scheduler{
-		rt:         rt,
-		ep:         rt.Net.Endpoint("scheduler"),
-		tep:        rt.Net.Endpoint("sched.timer"),
-		state:      map[string]int{},
-		busy:       map[string]busyRef{},
-		lastSeen:   map[string]time.Duration{},
-		idleStreak: map[string]int{},
-		active:     map[uint64]*activeReq{},
-		finished:   map[uint64]RequestStats{},
-		sessions:   map[string]int{},
+		rt:            rt,
+		ep:            rt.Net.Endpoint("scheduler"),
+		tep:           rt.Net.Endpoint("sched.timer"),
+		state:         map[string]int{},
+		busy:          map[string]busyRef{},
+		lastSeen:      map[string]time.Duration{},
+		idleStreak:    map[string]int{},
+		epochs:        map[string]int{},
+		health:        map[string]*nodeHealth{},
+		cordonPending: map[string]bool{},
+		active:        map[uint64]*activeReq{},
+		finished:      map[uint64]RequestStats{},
+		sessions:      map[string]int{},
 	}
 }
 
 func (s *Scheduler) start() {
 	now := s.rt.Clock.Now()
 	for _, w := range s.rt.Workers {
+		s.epochs[w.node] = w.Epoch()
+		s.lastSeen[w.node] = now
+		if w.Standby() {
+			s.state[w.node] = wsStandby
+			continue
+		}
 		s.state[w.node] = wsFree
 		s.free = append(s.free, w.node)
-		s.lastSeen[w.node] = now
 	}
 	s.rt.Clock.Go(s.loop)
 	if s.rt.cfg.FT.HeartbeatEvery > 0 {
@@ -203,6 +243,17 @@ func (s *Scheduler) loop() {
 			s.noteMark(m)
 		case "hb":
 			s.noteHeartbeat(m)
+			s.pump()
+			if s.maybeFinish() {
+				return
+			}
+		case "join":
+			s.noteJoin(m)
+			s.pump()
+		case "cordon":
+			s.noteCordon(m)
+		case "decommission":
+			s.noteDecommission(m)
 			s.pump()
 			if s.maybeFinish() {
 				return
@@ -433,8 +484,8 @@ func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
 		if want < 1 {
 			want = 1
 		}
-		if want > len(s.rt.Workers) {
-			want = len(s.rt.Workers)
+		if t := s.rt.targetWorkers(); want > t {
+			want = t // standbys raise resilience, not group size
 		}
 		alive := s.aliveCountLocked()
 		if alive == 0 {
@@ -554,14 +605,209 @@ func (s *Scheduler) startSpanMsgLocked(ar *activeReq, rank int, span []int, spec
 	return start
 }
 
+// aliveCountLocked counts the schedulable workers (free or busy): the
+// dispatch strength. Standby, quarantined and cordoned nodes are alive but
+// deliberately out of the pool.
 func (s *Scheduler) aliveCountLocked() int {
 	n := 0
 	for _, st := range s.state {
-		if st != wsDead {
+		if st == wsFree || st == wsBusy {
 			n++
 		}
 	}
 	return n
+}
+
+// staleEpochLocked reports whether a worker frame comes from a fenced (old)
+// incarnation of its node. Frames without a wepoch stamp (legacy senders)
+// are treated as current.
+func (s *Scheduler) staleEpochLocked(m comm.Message) bool {
+	v, ok := m.Params["wepoch"]
+	if !ok {
+		return false
+	}
+	e, err := strconv.Atoi(v)
+	if err != nil {
+		return false
+	}
+	cur, known := s.epochs[m.Params["worker"]]
+	return known && e < cur
+}
+
+// healthLocked returns (creating) the node's crash-score record.
+func (s *Scheduler) healthLocked(node string) *nodeHealth {
+	h := s.health[node]
+	if h == nil {
+		h = &nodeHealth{}
+		s.health[node] = h
+	}
+	return h
+}
+
+// decayedScoreLocked is the node's crash score at now: each charge counts 1
+// and halves every HealthHalfLife.
+func (s *Scheduler) decayedScoreLocked(node string, now time.Duration) float64 {
+	h := s.health[node]
+	if h == nil || h.score == 0 {
+		return 0
+	}
+	hl := s.rt.cfg.FT.HealthHalfLife
+	if hl <= 0 {
+		hl = 30 * time.Second
+	}
+	return h.score * math.Exp2(-float64(now-h.at)/float64(hl))
+}
+
+// chargeHealthLocked adds one death to the node's decaying crash score.
+func (s *Scheduler) chargeHealthLocked(node string) {
+	now := s.rt.Clock.Now()
+	h := s.healthLocked(node)
+	h.score = s.decayedScoreLocked(node, now) + 1
+	h.at = now
+}
+
+// admitNodeLocked places a (re)joined node into the pool: schedulable when
+// the pool is under target strength, held as a warm standby otherwise.
+func (s *Scheduler) admitNodeLocked(node, how string) {
+	if s.aliveCountLocked() < s.rt.targetWorkers() {
+		s.state[node] = wsFree
+		s.free = append(s.free, node)
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "worker %s %s: schedulable", node, how)
+		return
+	}
+	s.state[node] = wsStandby
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+		"worker %s %s: held as standby (pool at strength)", node, how)
+}
+
+// promoteStandbyLocked moves the lowest-named standby into the dispatch
+// pool, restoring strength after a schedulable worker was removed.
+func (s *Scheduler) promoteStandbyLocked() {
+	best := ""
+	for node, st := range s.state {
+		if st == wsStandby && (best == "" || node < best) {
+			best = node
+		}
+	}
+	if best == "" {
+		return
+	}
+	s.state[best] = wsFree
+	s.free = append(s.free, best)
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+		"standby %s promoted to restore pool strength", best)
+}
+
+// noteJoin handles a rebooted worker's registration. The join carries the
+// new incarnation's epoch; accepting it fences every frame of older
+// incarnations. A crash-prone node is quarantined instead of readmitted; a
+// healthy one re-enters the pool (or the standby reserve when the pool is at
+// strength). With static membership (FT.Rejoin off) joins are ignored —
+// dead is forever, the legacy fail-stop semantics.
+func (s *Scheduler) noteJoin(m comm.Message) {
+	node := m.Params["worker"]
+	epoch := m.IntParam("wepoch", 0)
+	var sends []outMsg
+	s.mu.Lock()
+	st, known := s.state[node]
+	if !known || !s.rt.cfg.FT.Rejoin || epoch <= s.epochs[node] {
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+			"join from %s (epoch %d) ignored", node, epoch)
+		s.mu.Unlock()
+		return
+	}
+	if st != wsDead {
+		// Early rejoin: the node rebooted before the failure detector gave
+		// up on its old incarnation. Retire the old membership in place —
+		// charging its death and failing over its rank — without fencing
+		// the node itself (the new incarnation is the one joining).
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+			"worker %s superseded by its own rejoin (epoch %d)", node, epoch)
+		delete(s.cordonPending, node)
+		s.removeWorkerLocked(node, "superseded by rejoin", true, &sends)
+	}
+	s.epochs[node] = epoch
+	now := s.rt.Clock.Now()
+	s.lastSeen[node] = now
+	s.idleStreak[node] = 0
+	if thr := s.rt.cfg.FT.QuarantineAfter; thr > 0 && s.decayedScoreLocked(node, now) >= thr {
+		h := s.healthLocked(node)
+		hold := s.rt.cfg.FT.QuarantineHold
+		if hold <= 0 {
+			hold = 4 * s.rt.cfg.FT.FailAfter
+		}
+		if hold <= 0 {
+			hold = 2 * time.Second
+		}
+		lvl := h.holdLevel
+		if lvl > 6 {
+			lvl = 6
+		}
+		hold <<= lvl
+		h.holdLevel++
+		h.holdUntil = now + hold
+		s.state[node] = wsQuarantined
+		s.rt.Trace.Eventf(now, "scheduler",
+			"worker %s rejoined (epoch %d) but quarantined for %v (crash score %.2f)",
+			node, epoch, hold, s.decayedScoreLocked(node, now))
+	} else {
+		s.admitNodeLocked(node, fmt.Sprintf("rejoined (epoch %d)", epoch))
+	}
+	s.mu.Unlock()
+	for _, o := range sends {
+		s.send(o)
+	}
+}
+
+// noteCordon administratively drains one worker for a rolling restart: a
+// free (or reserve) worker is cordoned immediately; a busy one finishes its
+// in-flight rank first (noteDone completes the transition).
+func (s *Scheduler) noteCordon(m comm.Message) {
+	node := m.Params["worker"]
+	s.mu.Lock()
+	st, known := s.state[node]
+	switch {
+	case !known || st == wsDead || st == wsCordoned:
+		// Nothing to drain.
+	case st == wsBusy:
+		s.cordonPending[node] = true
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+			"worker %s cordoned: waiting for in-flight rank to drain", node)
+	default:
+		if st == wsFree {
+			for i, n := range s.free {
+				if n == node {
+					s.free = append(s.free[:i], s.free[i+1:]...)
+					break
+				}
+			}
+		}
+		s.state[node] = wsCordoned
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "worker %s cordoned", node)
+	}
+	s.mu.Unlock()
+}
+
+// noteDecommission removes a (typically cordoned) worker from membership
+// without charging its crash score — an administrative removal, not a
+// failure — and fences the node.
+func (s *Scheduler) noteDecommission(m comm.Message) {
+	node := m.Params["worker"]
+	var sends []outMsg
+	s.mu.Lock()
+	st, known := s.state[node]
+	if !known || st == wsDead {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.cordonPending, node)
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "worker %s decommissioned", node)
+	s.removeWorkerLocked(node, "decommissioned", false, &sends)
+	s.mu.Unlock()
+	s.rt.killWorker(node)
+	for _, o := range sends {
+		s.send(o)
+	}
 }
 
 // noteDone processes a worker's completion report. The sender is freed
@@ -571,12 +817,29 @@ func (s *Scheduler) aliveCountLocked() int {
 func (s *Scheduler) noteDone(m comm.Message) {
 	node := m.Params["worker"]
 	s.mu.Lock()
+	if s.staleEpochLocked(m) {
+		// Completion report from a fenced incarnation: it must neither free
+		// the new incarnation nor complete a rank the journal re-issued.
+		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+			"stale wdone from fenced incarnation of %s dropped", node)
+		s.mu.Unlock()
+		return
+	}
 	if st, known := s.state[node]; known && st == wsBusy {
-		s.state[node] = wsFree
 		delete(s.busy, node)
 		s.idleStreak[node] = 0
 		s.lastSeen[node] = s.rt.Clock.Now()
-		s.free = append(s.free, node)
+		if s.cordonPending[node] {
+			// The rank a rolling restart was waiting on has drained (its
+			// journal marks flushed with this wdone): complete the cordon.
+			delete(s.cordonPending, node)
+			s.state[node] = wsCordoned
+			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+				"worker %s drained: cordon complete", node)
+		} else {
+			s.state[node] = wsFree
+			s.free = append(s.free, node)
+		}
 	}
 	if m.Params["superseded"] == "1" {
 		// A speculation loser's report: the worker returned to the pool
@@ -663,6 +926,9 @@ func (s *Scheduler) finishLocked(reqID uint64, ar *activeReq) {
 func (s *Scheduler) noteSpan(m comm.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.staleEpochLocked(m) {
+		return
+	}
 	ar, ok := s.active[m.ReqID]
 	if !ok || !ar.journaled || m.IntParam("attempt", -1) != ar.attempt {
 		return
@@ -685,6 +951,9 @@ func (s *Scheduler) noteSpan(m comm.Message) {
 func (s *Scheduler) noteMark(m comm.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.staleEpochLocked(m) {
+		return
+	}
 	ar, ok := s.active[m.ReqID]
 	if !ok || ar.journal == nil || m.IntParam("attempt", -1) != ar.attempt {
 		return
@@ -707,7 +976,10 @@ func (s *Scheduler) noteHeartbeat(m comm.Message) {
 	var sends []outMsg
 	s.mu.Lock()
 	st, known := s.state[node]
-	if !known || st == wsDead {
+	if !known || st == wsDead || s.staleEpochLocked(m) {
+		// Unknown node, fenced node, or a late beat from a fenced
+		// incarnation racing its successor's join: dropped, so a zombie
+		// cannot keep a dead membership entry looking alive.
 		s.mu.Unlock()
 		return
 	}
@@ -782,12 +1054,24 @@ func (s *Scheduler) monitor() {
 				suspects = append(suspects, node)
 			}
 		}
+		var release []string
+		for node, st := range s.state {
+			if st == wsQuarantined && now >= s.healthLocked(node).holdUntil {
+				release = append(release, node)
+			}
+		}
+		sort.Strings(release) // deterministic order regardless of map iteration
+		for _, node := range release {
+			s.admitNodeLocked(node, "released from quarantine on probation")
+		}
 		s.mu.Unlock()
 		if len(suspects) > 0 {
 			sort.Strings(suspects) // deterministic order regardless of map iteration
 			for _, node := range suspects {
 				s.declareDead(node, "no heartbeat for "+fail.String())
 			}
+		}
+		if len(suspects) > 0 || len(release) > 0 {
 			s.pump()
 		}
 		s.speculate()
@@ -872,6 +1156,25 @@ func (s *Scheduler) declareDead(node, reason string) {
 		s.mu.Unlock()
 		return
 	}
+	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "worker %s declared dead: %s", node, reason)
+	delete(s.cordonPending, node)
+	s.removeWorkerLocked(node, reason, true, &sends)
+	s.mu.Unlock()
+	s.rt.killWorker(node)
+	for _, o := range sends {
+		s.send(o)
+	}
+}
+
+// removeWorkerLocked takes a worker out of membership: state dead, off the
+// free list, busy rank failed over, crash score charged when the removal is
+// a failure (chargeHealth) rather than administrative. When a schedulable
+// worker was lost and a warm standby exists, the standby is promoted so
+// LiveWorkers returns to target strength. Fencing the actual node (crashing
+// its process) is the caller's business — a rejoin supersession must not
+// kill the incarnation that is joining.
+func (s *Scheduler) removeWorkerLocked(node, reason string, chargeHealth bool, sends *[]outMsg) {
+	st := s.state[node]
 	s.state[node] = wsDead
 	if st == wsFree {
 		for i, n := range s.free {
@@ -883,14 +1186,15 @@ func (s *Scheduler) declareDead(node, reason string) {
 	}
 	ref, wasBusy := s.busy[node]
 	delete(s.busy, node)
-	s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler", "worker %s declared dead: %s", node, reason)
-	if wasBusy {
-		s.failoverRankLocked(node, ref.reqID, ref.rank, "worker "+node+" died", &sends)
+	if chargeHealth {
+		s.chargeHealthLocked(node)
 	}
-	s.mu.Unlock()
-	s.rt.killWorker(node)
-	for _, o := range sends {
-		s.send(o)
+	if wasBusy {
+		s.failoverRankLocked(node, ref.reqID, ref.rank, "worker "+node+" died", sends)
+	}
+	if st == wsFree || st == wsBusy {
+		// Dispatch strength dropped: bring in a reserve, if any.
+		s.promoteStandbyLocked()
 	}
 }
 
@@ -958,7 +1262,10 @@ func (s *Scheduler) failoverRankLocked(node string, reqID uint64, rank int, reas
 }
 
 // backoff returns the delay before retry n (1-based): RetryBackoff doubled
-// per retry, capped at MaxBackoff.
+// per retry, capped at MaxBackoff, plus up to 50% of seeded jitter — without
+// it, every rank orphaned by the same death redispatches in lockstep (a
+// thundering herd onto the survivors). The jitter stream is derived from the
+// fault plan's seed, so a seeded scenario replays byte-identically.
 func (s *Scheduler) backoff(n int) time.Duration {
 	d := s.rt.cfg.FT.RetryBackoff
 	if d <= 0 {
@@ -970,6 +1277,7 @@ func (s *Scheduler) backoff(n int) time.Duration {
 	if max := s.rt.cfg.FT.MaxBackoff; max > 0 && d > max {
 		d = max
 	}
+	d += time.Duration(s.rt.jitterFrac() * 0.5 * float64(d))
 	return d
 }
 
@@ -1190,8 +1498,14 @@ func (s *Scheduler) maybeFinish() bool {
 	if !idle {
 		return false
 	}
+	// Latch the stopping flag before broadcasting: no new worker incarnation
+	// may spawn past this point, so every incarnation that exists when the
+	// broadcast runs is guaranteed to receive its shutdown.
+	s.rt.noteStopping()
 	for _, w := range s.rt.Workers {
-		// A dead worker's endpoint is closed; ErrDown is expected.
+		// A dead worker's endpoint is closed; ErrDown is expected. The send
+		// resolves the node's current endpoint, so a rejoined incarnation
+		// receives it too.
 		s.ep.Send(w.node, comm.Message{Kind: "shutdown"})
 	}
 	s.ep.Close()
@@ -1228,9 +1542,50 @@ func (s *Scheduler) FinishedCount() int {
 	return len(s.finished)
 }
 
-// LiveWorkers reports how many workers are not (yet) declared dead.
+// LiveWorkers reports the dispatch strength: workers currently schedulable
+// (free or busy). Standby, quarantined and cordoned nodes are alive but do
+// not count; promotion and rejoin raise it back toward the configured
+// target.
 func (s *Scheduler) LiveWorkers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.aliveCountLocked()
+}
+
+// workerState reports the membership state of one node (wsFree when
+// unknown, matching the state map's zero value).
+func (s *Scheduler) workerState(node string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state[node]
+}
+
+// QuarantinedWorkers lists the nodes currently serving a quarantine
+// hold-down, sorted.
+func (s *Scheduler) QuarantinedWorkers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for node, st := range s.state {
+		if st == wsQuarantined {
+			out = append(out, node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StandbyWorkers lists the warm reserves currently held out of the pool,
+// sorted.
+func (s *Scheduler) StandbyWorkers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for node, st := range s.state {
+		if st == wsStandby {
+			out = append(out, node)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -34,8 +34,15 @@ type Worker struct {
 	dead    atomic.Bool // fail-stopped: no further sends or receives
 	stopped atomic.Bool // clean shutdown: heartbeats cease
 
-	mu   sync.Mutex
-	busy bool // executing a command (reported in heartbeats)
+	mu sync.Mutex
+	// epoch is the incarnation number, starting at 1 and bumped on every
+	// respawn. Actors of an old incarnation carry their epoch and become
+	// inert once it is stale; the scheduler fences frames the same way.
+	epoch int
+	// standby marks a reserve worker: it runs and heartbeats but the
+	// scheduler parks it out of the dispatch pool until a death promotes it.
+	standby bool
+	busy    bool // executing a command (reported in heartbeats)
 	// pfIndexField, when non-empty, is the scalar field whose min/max index
 	// rides along with prefetched blocks (set by Ctx.PrefetchIndexed).
 	pfIndexField string
@@ -51,15 +58,37 @@ type Worker struct {
 
 func newWorker(rt *Runtime, node string, pf prefetch.Prefetcher) *Worker {
 	return &Worker{
-		rt:   rt,
-		node: node,
-		ep:   rt.Net.Endpoint(node),
-		pf:   pf,
+		rt:    rt,
+		node:  node,
+		ep:    rt.Net.Endpoint(node),
+		pf:    pf,
+		epoch: 1,
 	}
 }
 
 // Node reports the worker's node name.
 func (w *Worker) Node() string { return w.node }
+
+// Epoch reports the worker's current incarnation number.
+func (w *Worker) Epoch() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// Standby reports whether this worker was created as a reserve.
+func (w *Worker) Standby() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.standby
+}
+
+// endpoint returns the current incarnation's NIC.
+func (w *Worker) endpoint() *comm.Endpoint {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ep
+}
 
 // setIndexField remembers the field whose min/max index should be built for
 // blocks that land via prefetch (Ctx.PrefetchIndexed).
@@ -77,6 +106,7 @@ func (w *Worker) setIndexField(field string) {
 func (w *Worker) indexPrefetched(b *grid.Block) {
 	w.mu.Lock()
 	field := w.pfIndexField
+	proxy := w.proxy
 	w.mu.Unlock()
 	if field == "" {
 		return
@@ -86,15 +116,19 @@ func (w *Worker) indexPrefetched(b *grid.Block) {
 		return
 	}
 	name := dms.IndexItem(b.ID, field)
-	if w.proxy.HasDerived(name) {
+	if proxy.HasDerived(name) {
 		return
 	}
 	w.rt.Clock.Sleep(w.rt.Cost.IndexCost(b.NumNodes()))
-	w.proxy.PutDerived(name, grid.BuildMinMax(b, field, vals))
+	proxy.PutDerived(name, grid.BuildMinMax(b, field, vals))
 }
 
 // Proxy exposes the worker's DMS proxy (tests and cache-priming).
-func (w *Worker) Proxy() *dms.Proxy { return w.proxy }
+func (w *Worker) Proxy() *dms.Proxy {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.proxy
+}
 
 // Dead reports whether the worker has fail-stopped.
 func (w *Worker) Dead() bool { return w.dead.Load() }
@@ -107,7 +141,7 @@ func (w *Worker) crash(reason string) {
 		return
 	}
 	w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node, "crashed: %s", reason)
-	w.ep.Close()
+	w.endpoint().Close()
 }
 
 // checkCrashed aborts the current execution if the worker has fail-stopped.
@@ -118,32 +152,44 @@ func (w *Worker) checkCrashed() {
 	}
 }
 
-func (w *Worker) setBusy(b bool) {
+// setBusy flips the busy flag reported in heartbeats. Worker-local mutators
+// are epoch-parameterized: an execution unwinding from a fenced incarnation
+// (crashed, then respawned before the unwind finished) must not scribble on
+// the new incarnation's state, so a stale epoch makes them no-ops.
+func (w *Worker) setBusy(epoch int, b bool) {
 	w.mu.Lock()
-	w.busy = b
+	if epoch == w.epoch {
+		w.busy = b
+	}
 	w.mu.Unlock()
 }
 
 // beginJournal arms the heartbeat watermark piggyback for one execution.
-func (w *Worker) beginJournal(reqID uint64, rank, attempt int) {
+func (w *Worker) beginJournal(epoch int, reqID uint64, rank, attempt int) {
 	w.mu.Lock()
-	w.jreq, w.jrank, w.jattempt = reqID, rank, attempt
-	w.jmarks = w.jmarks[:0]
+	if epoch == w.epoch {
+		w.jreq, w.jrank, w.jattempt = reqID, rank, attempt
+		w.jmarks = w.jmarks[:0]
+	}
 	w.mu.Unlock()
 }
 
 // markDone appends one completed span item to the published watermark.
-func (w *Worker) markDone(item int) {
+func (w *Worker) markDone(epoch, item int) {
 	w.mu.Lock()
-	w.jmarks = append(w.jmarks, item)
+	if epoch == w.epoch {
+		w.jmarks = append(w.jmarks, item)
+	}
 	w.mu.Unlock()
 }
 
 // clearJournal disarms the watermark piggyback when an execution ends.
-func (w *Worker) clearJournal() {
+func (w *Worker) clearJournal(epoch int) {
 	w.mu.Lock()
-	w.jreq, w.jrank, w.jattempt = 0, 0, 0
-	w.jmarks = w.jmarks[:0]
+	if epoch == w.epoch {
+		w.jreq, w.jrank, w.jattempt = 0, 0, 0
+		w.jmarks = w.jmarks[:0]
+	}
 	w.mu.Unlock()
 }
 
@@ -151,18 +197,66 @@ func (w *Worker) clearJournal() {
 // proxy's loading strategies see every registered device — and spawns the
 // actor loop plus the heartbeat actor.
 func (w *Worker) start() {
-	w.proxy = w.rt.DMS.NewProxy(w.node, w.pf)
-	w.proxy.OnPrefetched = w.indexPrefetched
-	w.rt.Clock.Go(w.loop)
+	proxy := w.rt.DMS.NewProxy(w.node, w.pf)
+	proxy.OnPrefetched = w.indexPrefetched
+	w.mu.Lock()
+	w.proxy = proxy
+	ep, epoch := w.ep, w.epoch
+	w.mu.Unlock()
+	w.rt.Clock.Go(func() { w.runLoop(ep, epoch) })
 	if w.rt.cfg.FT.HeartbeatEvery > 0 {
-		w.rt.Clock.Go(w.heartbeatLoop)
+		w.rt.Clock.Go(func() { w.heartbeatLoop(ep, epoch) })
 	}
 }
 
+// respawn reboots a crashed worker as a fresh incarnation: a new epoch, a
+// new NIC (endpoint), a new DMS proxy, and fresh actor loops. The new
+// incarnation announces itself to the scheduler with a join handshake and
+// re-warms its block cache from the DMS hot set off the request path.
+// respawn never parks — callers hold the runtime's stop lock.
+func (w *Worker) respawn() {
+	ep := w.rt.Net.Replace(w.node)
+	w.rt.DMS.DropProxy(w.node)
+	proxy := w.rt.DMS.NewProxy(w.node, w.pf)
+	proxy.OnPrefetched = w.indexPrefetched
+	w.mu.Lock()
+	w.epoch++
+	epoch := w.epoch
+	w.ep = ep
+	w.proxy = proxy
+	w.busy = false
+	w.jreq, w.jrank, w.jattempt = 0, 0, 0
+	w.jmarks = w.jmarks[:0]
+	w.mu.Unlock()
+	w.dead.Store(false)
+	w.stopped.Store(false)
+	w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node, "rebooted as epoch %d", epoch)
+	w.rt.Clock.Go(func() { w.runLoop(ep, epoch) })
+	if w.rt.cfg.FT.HeartbeatEvery > 0 {
+		w.rt.Clock.Go(func() { w.heartbeatLoop(ep, epoch) })
+	}
+	w.rt.Clock.Go(func() {
+		// Join handshake (from an actor: sends park), then cache re-warm:
+		// prefetch the cluster-wide hot set so the rejoined rank's first
+		// demand loads hit warm cache instead of cold storage.
+		ep.Send("scheduler", comm.Message{
+			Kind:   "join",
+			Params: map[string]string{"worker": w.node, "wepoch": strconv.Itoa(epoch)},
+		})
+		for _, id := range w.rt.DMS.HotSet() {
+			if w.dead.Load() {
+				return
+			}
+			proxy.Prefetch(id)
+		}
+	})
+}
+
 // heartbeatLoop reports liveness (and idle/busy state) to the scheduler
-// every HeartbeatEvery until shutdown or crash. Send errors are expected
-// during teardown (scheduler inbox already closed) and ignored.
-func (w *Worker) heartbeatLoop() {
+// every HeartbeatEvery until shutdown, crash, or supersession by a newer
+// incarnation. Send errors are expected during teardown (scheduler inbox
+// already closed) and ignored.
+func (w *Worker) heartbeatLoop(ep *comm.Endpoint, epoch int) {
 	every := w.rt.cfg.FT.HeartbeatEvery
 	for {
 		w.rt.Clock.Sleep(every)
@@ -171,6 +265,10 @@ func (w *Worker) heartbeatLoop() {
 		}
 		state := "idle"
 		w.mu.Lock()
+		if w.epoch != epoch {
+			w.mu.Unlock()
+			return // a newer incarnation heartbeats now
+		}
 		if w.busy {
 			state = "busy"
 		}
@@ -181,8 +279,11 @@ func (w *Worker) heartbeatLoop() {
 		}
 		w.mu.Unlock()
 		hb := comm.Message{
-			Kind:   "hb",
-			Params: map[string]string{"worker": w.node, "state": state},
+			Kind: "hb",
+			Params: map[string]string{
+				"worker": w.node, "state": state,
+				"wepoch": strconv.Itoa(epoch),
+			},
 		}
 		if jreq != 0 {
 			// Piggyback the cumulative completed-item watermark of the
@@ -192,27 +293,31 @@ func (w *Worker) heartbeatLoop() {
 			hb.Params["jattempt"] = strconv.Itoa(jattempt)
 			hb.Params["jmarks"] = jmarks
 		}
-		w.ep.Send("scheduler", hb)
+		ep.Send("scheduler", hb)
 	}
 }
 
-func (w *Worker) loop() {
+func (w *Worker) runLoop(ep *comm.Endpoint, epoch int) {
 	for {
-		m, ok := w.ep.Recv()
+		m, ok := ep.Recv()
 		if !ok {
-			w.stopped.Store(true)
+			// Inbox closed: this incarnation crashed (dead is already set) or
+			// closed its own endpoint after a shutdown message (stopped is
+			// already set). Deliberately no stopped.Store here — stopped
+			// means a *clean* stop, and marking it on a crash would make the
+			// incarnation unrevivable before the recovery timer ever fires.
 			return
 		}
-		if w.dead.Load() {
-			continue // drain and discard: a dead node processes nothing
+		if w.dead.Load() || w.Epoch() != epoch {
+			continue // drain and discard: a dead incarnation processes nothing
 		}
 		switch m.Kind {
 		case "shutdown":
 			w.stopped.Store(true)
-			w.ep.Close()
+			ep.Close()
 			return
 		case "start":
-			w.execute(m)
+			w.execute(ep, epoch, m)
 		default:
 			// Stray message outside any command (e.g. a late partial after
 			// an error path): dropped.
@@ -223,7 +328,7 @@ func (w *Worker) loop() {
 // execute runs one command as a member of a work group. A crashSignal panic
 // (fail-stop at a crash point) unwinds silently: a dead worker reports
 // nothing; detection and recovery are the scheduler's job.
-func (w *Worker) execute(start comm.Message) {
+func (w *Worker) execute(ep *comm.Endpoint, epoch int, start comm.Message) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isCrash := r.(crashSignal); isCrash {
@@ -232,9 +337,9 @@ func (w *Worker) execute(start comm.Message) {
 			panic(r)
 		}
 	}()
-	w.setBusy(true)
-	defer w.setBusy(false)
-	defer w.clearJournal()
+	w.setBusy(epoch, true)
+	defer w.setBusy(epoch, false)
+	defer w.clearJournal(epoch)
 
 	reqID := start.ReqID
 	rank := start.IntParam("rank", 0)
@@ -243,9 +348,15 @@ func (w *Worker) execute(start comm.Message) {
 	ds := w.rt.Datasets[start.Params["dataset"]]
 	cmd, found := w.rt.Lookup(start.Command)
 
+	w.mu.Lock()
+	proxy := w.proxy
+	w.mu.Unlock()
 	ctx := &Ctx{
 		rt:        w.rt,
 		worker:    w,
+		ep:        ep,
+		epoch:     epoch,
+		proxy:     proxy,
 		Req:       start,
 		Rank:      rank,
 		GroupSize: len(group),
@@ -297,7 +408,7 @@ func (w *Worker) execute(start comm.Message) {
 			msg.Payload = partial.EncodeBinary()
 		}
 		sendStart := w.rt.Clock.Now()
-		if err := w.ep.Send(master, msg); err != nil {
+		if err := ep.Send(master, msg); err != nil {
 			// The master is gone; the scheduler will restart the request.
 			w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node,
 				"req %d: %s to master %s failed: %v", reqID, msg.Kind, master, err)
@@ -330,7 +441,7 @@ func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
 	seen := make([]bool, ctx.GroupSize)
 	seen[0] = true
 	for received := 1; received < ctx.GroupSize; {
-		m, ok := w.ep.Recv()
+		m, ok := ctx.ep.Recv()
 		if !ok {
 			w.checkCrashed()
 			return // shutdown mid-gather: nothing sensible left to send
@@ -398,7 +509,7 @@ func (w *Worker) masterGather(ctx *Ctx, own *mesh.Mesh, ownErr error) {
 		out.Payload = merged.EncodeBinary()
 	}
 	sendStart := w.rt.Clock.Now()
-	if err := w.ep.Send(ctx.ClientEndpoint(), out); err != nil {
+	if err := ctx.ep.Send(ctx.ClientEndpoint(), out); err != nil {
 		w.rt.Trace.Eventf(w.rt.Clock.Now(), "worker:"+w.node,
 			"req %d: %s to client %s failed: %v", ctx.Req.ReqID, out.Kind, ctx.ClientEndpoint(), err)
 	}
@@ -412,6 +523,7 @@ func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
 	p := ctx.probes
 	params := map[string]string{
 		"worker":     w.node,
+		"wepoch":     strconv.Itoa(ctx.epoch),
 		"rank":       strconv.Itoa(ctx.Rank),
 		"attempt":    strconv.Itoa(ctx.attempt),
 		"compute_ns": strconv.FormatInt(p.Compute.Nanoseconds(), 10),
@@ -426,7 +538,7 @@ func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
 			params["superseded"] = "1"
 		}
 	}
-	if err := w.ep.Send("scheduler", comm.Message{
+	if err := ctx.ep.Send("scheduler", comm.Message{
 		Kind:   "wdone",
 		ReqID:  reqID,
 		Params: params,

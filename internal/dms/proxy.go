@@ -84,6 +84,10 @@ type Proxy struct {
 	// first demand query after a prefetch finds both the block and its
 	// index hot.
 	OnPrefetched func(b *grid.Block)
+	// OnDemand, when set, runs after every successful demand Get (cache hit
+	// or load). The data-manager server uses it to maintain the group-wide
+	// demand hot-set that re-warms rejoined nodes' caches.
+	OnDemand func(id grid.BlockID)
 
 	mu       sync.Mutex
 	inflight map[ItemID]*vclock.Gate
@@ -134,6 +138,9 @@ func (p *Proxy) Get(id grid.BlockID) (*grid.Block, error) {
 			b := e.(*grid.Block) // a BlockItem name always caches a block
 			p.StatsUnit.Record(id, false, p.Clock.Now())
 			p.Prefetcher.Record(id, false)
+			if p.OnDemand != nil {
+				p.OnDemand(id)
+			}
 			p.systemPrefetch(id)
 			return b, nil
 		}
@@ -176,6 +183,9 @@ func (p *Proxy) Get(id grid.BlockID) (*grid.Block, error) {
 		}
 		p.StatsUnit.Record(id, true, p.Clock.Now())
 		p.Prefetcher.Record(id, true)
+		if p.OnDemand != nil {
+			p.OnDemand(id)
+		}
 		p.systemPrefetch(id)
 		return b, nil
 	}

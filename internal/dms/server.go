@@ -73,7 +73,13 @@ type Server struct {
 	proxies  []*Proxy
 	fetching map[ItemID]map[string]bool
 	budget   *Budget
+	hot      []grid.BlockID // demand hot-set, most recent first, ≤ hotCap
 }
+
+// hotCap bounds the server's demand hot-set: the most recently demanded
+// blocks across all proxies, kept small enough that re-warming a rejoined
+// node's cache stays a short background errand rather than a bulk reload.
+const hotCap = 32
 
 // NewServer builds a data-manager server with the given base sources
 // (devices such as the local disk and the network file server).
@@ -128,10 +134,72 @@ func (s *Server) NewProxy(node string, pf prefetch.Prefetcher) *Proxy {
 		p.Peers = s
 	}
 
+	p.OnDemand = s.NoteDemand
+
 	s.mu.Lock()
 	s.proxies = append(s.proxies, p)
 	s.mu.Unlock()
 	return p
+}
+
+// NoteDemand records a demand-block access in the server's bounded recency
+// hot-set. Every proxy reports its demand stream here (wired in NewProxy), so
+// the set reflects what the whole group is actively touching — the working
+// set a freshly rejoined node should pull back into its cold cache.
+func (s *Server) NoteDemand(id grid.BlockID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, h := range s.hot {
+		if h == id {
+			copy(s.hot[1:i+1], s.hot[:i])
+			s.hot[0] = id
+			return
+		}
+	}
+	if len(s.hot) < hotCap {
+		s.hot = append(s.hot, grid.BlockID{})
+	}
+	copy(s.hot[1:], s.hot)
+	s.hot[0] = id
+}
+
+// HotSet returns a snapshot of the demand hot-set, most recent first. The
+// core layer prefetches it through a rejoined node's new proxy to re-warm the
+// cache off the request path.
+func (s *Server) HotSet() []grid.BlockID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]grid.BlockID(nil), s.hot...)
+}
+
+// DropProxy unregisters every proxy of a node that left the group (crash or
+// decommission): the dead incarnation's cached bytes are credited back to the
+// shared memory budget (Cache.Clear releases them), the proxy stops serving
+// as a peer-transfer source, and any fetch registrations the node still held
+// are cleared so survivors' prefetches are not deferred forever to a fetch
+// that will never finish.
+func (s *Server) DropProxy(node string) {
+	s.mu.Lock()
+	kept := s.proxies[:0]
+	var dropped []*Proxy
+	for _, p := range s.proxies {
+		if p.Node == node {
+			dropped = append(dropped, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	s.proxies = kept
+	for item, m := range s.fetching {
+		delete(m, node)
+		if len(m) == 0 {
+			delete(s.fetching, item)
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range dropped {
+		p.DropCaches()
+	}
 }
 
 // peerSource builds the cooperative-cache source for proxy self: blocks

@@ -93,6 +93,13 @@ type Plan struct {
 	// closing: the bridge treats sends to them as wedged, exercising the
 	// write-deadline path deterministically.
 	Hangs map[string]bool
+	// Recovers maps worker node names to the virtual time at which a crashed
+	// node reboots and rejoins the scheduler (requires FTConfig.Rejoin).
+	Recovers map[string]time.Duration
+	// Flaps maps worker node names to a crash/rejoin half-period: the node
+	// crashes after every PERIOD of uptime and reboots PERIOD later, over and
+	// over — the host the quarantine machinery exists for.
+	Flaps map[string]time.Duration
 }
 
 // CrashAt registers a worker crash and returns the plan for chaining.
@@ -101,6 +108,28 @@ func (p *Plan) CrashAt(node string, at time.Duration) *Plan {
 		p.Crashes = map[string]time.Duration{}
 	}
 	p.Crashes[node] = at
+	return p
+}
+
+// RecoverAt registers a worker reboot-and-rejoin at virtual time at and
+// returns the plan for chaining. Pair it with CrashAt for a crash→recover
+// timeline.
+func (p *Plan) RecoverAt(node string, at time.Duration) *Plan {
+	if p.Recovers == nil {
+		p.Recovers = map[string]time.Duration{}
+	}
+	p.Recovers[node] = at
+	return p
+}
+
+// Flap registers a crash/rejoin cycle with half-period period for a worker
+// node and returns the plan for chaining: the node runs for period, crashes,
+// reboots period later, and repeats.
+func (p *Plan) Flap(node string, period time.Duration) *Plan {
+	if p.Flaps == nil {
+		p.Flaps = map[string]time.Duration{}
+	}
+	p.Flaps[node] = period
 	return p
 }
 
@@ -156,6 +185,8 @@ func (p *Plan) Hang(name string) *Plan {
 //	lag:NODE:FACTOR          multiply NODE's compute cost by FACTOR ("lag:w1:4")
 //	discon:NODE:AFTER_MSGS   drop NODE's connection after AFTER_MSGS delivered frames ("discon:sess-1:5")
 //	hang:NODE                NODE's peer accepts but never drains ("hang:sess-1")
+//	recover:NODE@DUR         reboot a crashed NODE at clock time DUR ("recover:w1@5s")
+//	flap:NODE:PERIOD         crash/rejoin NODE every PERIOD ("flap:w1:500ms")
 //
 // FROM, TO, KIND, DATASET, ENDPOINT and NODE accept "*" as a wildcard.
 func (p *Plan) ParseRule(spec string) error {
@@ -263,6 +294,29 @@ func (p *Plan) ParseRule(spec string) error {
 			return fmt.Errorf("faults: rule %q: hang must be hang:NODE", spec)
 		}
 		p.Hang(rest)
+	case "recover":
+		node, at, ok := strings.Cut(rest, "@")
+		if !ok || node == "" {
+			return fmt.Errorf("faults: rule %q: recover must be recover:NODE@DUR", spec)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			return fmt.Errorf("faults: rule %q: %w", spec, err)
+		}
+		p.RecoverAt(node, d)
+	case "flap":
+		node, per, ok := strings.Cut(rest, ":")
+		if !ok || node == "" {
+			return fmt.Errorf("faults: rule %q: flap must be flap:NODE:PERIOD", spec)
+		}
+		d, err := time.ParseDuration(per)
+		if err != nil {
+			return fmt.Errorf("faults: rule %q: %w", spec, err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("faults: rule %q: period must be positive", spec)
+		}
+		p.Flap(node, d)
 	default:
 		return fmt.Errorf("faults: rule %q: unknown kind %q", spec, kind)
 	}
@@ -337,6 +391,33 @@ func (in *Injector) CrashTime(node string) (time.Duration, bool) {
 	}
 	at, ok := in.plan.Crashes[node]
 	return at, ok
+}
+
+// RecoverTime reports the planned reboot-and-rejoin time of a node.
+func (in *Injector) RecoverTime(node string) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	at, ok := in.plan.Recovers[node]
+	return at, ok
+}
+
+// FlapPeriod reports the planned crash/rejoin half-period of a node.
+func (in *Injector) FlapPeriod(node string) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	d, ok := in.plan.Flaps[node]
+	return d, ok
+}
+
+// Seed reports the plan's seed, so the runtime can derive other reproducible
+// decisions (scheduler backoff jitter) from the same scenario seed.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.plan.Seed
 }
 
 // OnRead is the storage hook: a non-nil error fails the read of id.
@@ -452,6 +533,12 @@ func (in *Injector) roll(link string, seq, salt uint64) float64 {
 	h ^= seq*0x9e3779b97f4a7c15 + salt
 	return float64(splitmix64(h)>>11) / float64(1<<53)
 }
+
+// Mix64 exposes the splitmix64 finalizer: a strong, stateless 64-bit mixer.
+// Callers that need seeded-but-reproducible pseudo-random values outside the
+// injector (the scheduler's backoff jitter) hash a (seed, counter) pair
+// through it instead of keeping their own generator state.
+func Mix64(x uint64) uint64 { return splitmix64(x) }
 
 // splitmix64 is the finalizer of the splitmix64 PRNG: a strong 64-bit mixer.
 func splitmix64(x uint64) uint64 {

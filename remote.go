@@ -243,6 +243,28 @@ func (rc *RemoteClient) Drain() error {
 	}
 }
 
+// Roll asks the served system to perform a rolling worker restart (the
+// remote counterpart of System.Roll): each rank is cordoned, drained, killed
+// and rebooted in turn while requests keep completing normally. Roll blocks
+// until the server acknowledges that the whole pool has been cycled.
+func (rc *RemoteClient) Roll() error {
+	if err := rc.send(comm.Message{Kind: "roll"}); err != nil {
+		return err
+	}
+	for {
+		m, ok := rc.recv()
+		if !ok {
+			return fmt.Errorf("viracocha: connection lost awaiting roll acknowledgement")
+		}
+		if m.Kind == "rolled" {
+			if e := m.Params["error"]; e != "" {
+				return fmt.Errorf("viracocha: roll: %s", e)
+			}
+			return nil
+		}
+	}
+}
+
 func (rc *RemoteClient) send(m comm.Message) error {
 	rc.mu.Lock()
 	conn := rc.conn
