@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz overload soak churn bench benchcmp check clean
+.PHONY: all build test race vet fuzz overload soak churn bench bench-smoke benchcmp check clean
 
 all: check
 
@@ -47,28 +47,37 @@ vet:
 	$(GO) vet ./...
 
 # Kernel micro-benchmarks (real wall time, not virtual) plus the recorded
-# slider-sweep session pair: the extraction, mesh and codec hot paths and the
-# min/max-index repeated-query workload. Writes the raw output to BENCH_4.txt
-# and a JSON digest to BENCH_4.json for the perf trajectory.
-KERNEL_BENCH ?= MarchingTetrahedra|ExtractRangeReuse|MeshWeld|MeshEncodeBinary|MeshAppend$$|ComputeNormals|Lambda2Field|BlockEncodeDecode|SliderSweep
+# session pairs: the extraction, mesh and codec hot paths, the min/max-index
+# iso slider sweep, the gradient-index vortex threshold sweep and the
+# coalesced-frame packet counters. Writes the raw output to BENCH_5.txt and a
+# JSON digest to BENCH_5.json for the perf trajectory.
+KERNEL_BENCH ?= MarchingTetrahedra|ExtractRangeReuse|MeshWeld|MeshEncodeBinary|MeshAppend$$|ComputeNormals|Lambda2Field|BlockEncodeDecode|SliderSweep|VortexSweep|StreamedFrames
 bench:
-	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem -count=1 . | tee BENCH_4.txt
-	awk -f scripts/bench2json.awk BENCH_4.txt > BENCH_4.json
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem -count=1 . | tee BENCH_5.txt
+	awk -f scripts/bench2json.awk BENCH_5.txt > BENCH_5.json
+
+# One-iteration smoke pass over the headline benchmarks: catches a broken or
+# wildly regressed hot path in seconds without recording numbers. Part of
+# `make check`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Lambda2Field|SliderSweepWarm|VortexSweepWarm|StreamedFrames' -benchtime 1x -count=1 .
 
 # Before/after comparison of two saved bench outputs (defaults diff the
 # previous PR's record against this one's):
-#   make benchcmp [OLD=BENCH_3.txt NEW=BENCH_4.txt]
-OLD ?= BENCH_3.txt
-NEW ?= BENCH_4.txt
+#   make benchcmp [OLD=BENCH_4.txt NEW=BENCH_5.txt]
+OLD ?= BENCH_4.txt
+NEW ?= BENCH_5.txt
 benchcmp:
 	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make benchcmp OLD=old.txt NEW=new.txt"; exit 1; }
 	@awk -f scripts/benchcmp.awk $(OLD) $(NEW)
 
-# Short fuzz pass over the message codec (incl. fault-plan-mutated frames).
+# Short fuzz pass over the message codec (incl. fault-plan-mutated frames
+# and coalesced batch frames).
 fuzz:
 	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeMutated -fuzztime=10s
+	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeBatchMutated -fuzztime=10s
 
-check: vet build test race churn
+check: vet build test race churn bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"viracocha/internal/bench"
+	"viracocha/internal/core"
 	"viracocha/internal/dataset"
 	"viracocha/internal/grid"
 	"viracocha/internal/iso"
@@ -204,6 +205,48 @@ func BenchmarkSliderSweepWarmFull(b *testing.B)    { benchSliderSweepSession(b, 
 func BenchmarkSliderSweepWarmIndexed(b *testing.B) { benchSliderSweepSession(b, 1, 2) }
 func BenchmarkSliderSweepColdFull(b *testing.B)    { benchSliderSweepSession(b, 0, 1) }
 func BenchmarkSliderSweepColdIndexed(b *testing.B) { benchSliderSweepSession(b, 1, 1) }
+
+// The vortex rows of the same ablation table: a user dragging the λ2
+// threshold. The indexed path proves quiet blocks vortex-free through the
+// gradient index's ‖J‖²_F bound without recomputing the eigen-sweep; the
+// Warm pair is the recorded ≥2× vortex-sweep claim.
+func BenchmarkVortexSweepWarmFull(b *testing.B)    { benchSliderSweepSession(b, 2, 2) }
+func BenchmarkVortexSweepWarmIndexed(b *testing.B) { benchSliderSweepSession(b, 3, 2) }
+func BenchmarkVortexSweepColdFull(b *testing.B)    { benchSliderSweepSession(b, 2, 1) }
+func BenchmarkVortexSweepColdIndexed(b *testing.B) { benchSliderSweepSession(b, 3, 1) }
+
+// benchStreamedFrames is the packets-per-request comm counter: one streamed
+// vortex request at fan-out 4, reporting how many logical packets the stream
+// carried and how many fabric messages carried them. With coalescing the
+// frames/req figure must drop while packets/req stays fixed.
+func benchStreamedFrames(b *testing.B, coalesce string) {
+	var frames, packets float64
+	for i := 0; i < b.N; i++ {
+		e := bench.NewEnv(bench.EnvConfig{DS: dataset.Engine().WithScale(2), Workers: 4, Prefetcher: "obl"})
+		var reqID uint64
+		e.Session(func(cl *core.Client) {
+			res, err := cl.Run("vortex.streamed", bench.Params(
+				"dataset", "engine", "workers", "4", "lambda2", "-1000",
+				"cellbatch", "32", "coalesce", coalesce))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			reqID = res.ReqID
+		})
+		if b.Failed() {
+			b.FailNow()
+		}
+		st, _ := e.RT.Sched.Stats(reqID)
+		frames = float64(st.Frames)
+		packets = float64(st.Streams)
+	}
+	b.ReportMetric(frames, "frames/req")
+	b.ReportMetric(packets, "packets/req")
+}
+
+func BenchmarkStreamedFramesRaw(b *testing.B)       { benchStreamedFrames(b, "0") }
+func BenchmarkStreamedFramesCoalesced(b *testing.B) { benchStreamedFrames(b, "65536") }
 
 // BenchmarkSliderSweepScanFull is the unindexed wall-time scan kernel for the
 // repeated-query workload: every slider position rescans every cell of every

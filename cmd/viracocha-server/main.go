@@ -52,6 +52,8 @@ func main() {
 		window    = flag.Int("stream-window", 32, "unacked partial packets per stream before the producer parks (0 = no flow control)")
 		slowAfter = flag.Duration("slow-consumer-after", 5*time.Second, "cancel a request parked on stream credit this long (0 = park forever)")
 		useIndex  = flag.Bool("index", false, "enable min/max acceleration indexes: cache per-(block, field) brick indexes, lambda2 fields and BSP trees as derived DMS entities (requests override with index=0/1)")
+		coalesce  = flag.Int("coalesce", 0, "coalesce streamed partials into comm frames of about this many bytes (0 = off; requests override with coalesce=N)")
+		coalDelay = flag.Duration("coalesce-delay", 0, "flush a coalesced frame once its oldest packet is this old, regardless of size (0 = no age bound)")
 		lease     = flag.Duration("lease", 30*time.Second, "durable-session lease: how long a disconnected client's session (and its in-flight streams) survives awaiting resume")
 		drainTmo  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long in-flight requests get to finish after SIGTERM (or a remote drain) before exiting anyway")
 		snapshot  = flag.String("snapshot", "", "session snapshot file: restored on start when present, written on graceful shutdown so a restarted server honors client resumes")
@@ -66,6 +68,8 @@ func main() {
 		StorageLatency:   *latency,
 		StorageBandwidth: *bandwidth,
 		UseIndex:         *useIndex,
+		CoalesceBytes:    *coalesce,
+		CoalesceDelay:    *coalDelay,
 		SessionLease:     *lease,
 		DrainTimeout:     *drainTmo,
 	}

@@ -60,6 +60,7 @@ func PaperCost() core.CostModel {
 		PerIsoCell:        140 * time.Microsecond,
 		PerTriangle:       40 * time.Microsecond,
 		PerLambda2Node:    400 * time.Microsecond,
+		PerGradNode:       133 * time.Microsecond,
 		PerBSPCell:        185 * time.Microsecond,
 		PerVelocityEval:   2900 * time.Microsecond,
 		PerIndexNode:      12 * time.Microsecond,

@@ -45,6 +45,72 @@ func TestDecodeSurvivesMutatedFrames(t *testing.T) {
 	}
 }
 
+func corruptibleBatch() []byte {
+	return comm.EncodeBatch([]comm.Message{
+		{
+			Kind: "partial", Command: "vortex.streamed", ReqID: 12, Seq: 1,
+			Params:  map[string]string{"worker": "w1", "rank": "1", "attempt": "0"},
+			Payload: []byte("packet one of a coalesced frame"),
+		},
+		{
+			Kind: "partial", Command: "vortex.streamed", ReqID: 12, Seq: 2,
+			Params:  map[string]string{"worker": "w1", "rank": "1", "attempt": "0", "block": "5", "bseq": "1"},
+			Payload: []byte("packet two, block-tagged"),
+		},
+	})
+}
+
+// TestDecodeBatchSurvivesMutatedFrames replays seeded fault-plan mutations
+// over a valid coalesced frame: DecodeBatch must never panic, and any batch
+// it accepts must consist of messages that individually round-trip — a link
+// fault can cost the whole frame but can never smuggle a corrupt packet
+// through the per-message CRC.
+func TestDecodeBatchSurvivesMutatedFrames(t *testing.T) {
+	base := corruptibleBatch()
+	for seed := uint64(0); seed < 512; seed++ {
+		data := append([]byte(nil), base...)
+		faults.Mutate(seed, data, int(seed%9)+1)
+		msgs, err := comm.DecodeBatch(data)
+		if err != nil {
+			continue
+		}
+		for i, m := range msgs {
+			back, err := comm.Decode(comm.Encode(m))
+			if err != nil {
+				t.Fatalf("seed %d: accepted sub-message %d failed to re-decode: %v", seed, i, err)
+			}
+			if !reflect.DeepEqual(m, back) {
+				t.Fatalf("seed %d: accepted sub-message %d does not round-trip", seed, i)
+			}
+		}
+	}
+}
+
+// FuzzDecodeBatchMutated lets the fuzzer drive mutations over a coalesced
+// frame directly.
+func FuzzDecodeBatchMutated(f *testing.F) {
+	f.Add(uint64(1), 1)
+	f.Add(uint64(42), 4)
+	f.Add(uint64(1<<40), 16)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 64
+		data := corruptibleBatch()
+		faults.Mutate(seed, data, n)
+		msgs, err := comm.DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		for _, m := range msgs {
+			if back, err := comm.Decode(comm.Encode(m)); err != nil || !reflect.DeepEqual(m, back) {
+				t.Fatalf("accepted mutated sub-message does not round-trip (err %v)", err)
+			}
+		}
+	})
+}
+
 // FuzzDecodeMutated lets the fuzzer drive the mutation parameters directly.
 func FuzzDecodeMutated(f *testing.F) {
 	f.Add(uint64(1), 1)

@@ -1,0 +1,61 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FrameKind is the Kind of a coalesced comm frame: one fabric message whose
+// payload carries several complete encoded messages back to back. Streaming
+// producers batch small partial-result packets into frames so the per-message
+// fabric charge (latency, inbound-link serialization) is paid once per frame
+// instead of once per packet; consumers unpack the frame and process each
+// sub-message exactly as if it had arrived on its own.
+const FrameKind = "frame"
+
+// EncodeBatch packs the messages into a frame payload: each sub-message's
+// full wire encoding (magic, header, trailing CRC32-C) prefixed with its
+// 32-bit little-endian length. Every sub-message's bytes are exactly its
+// individual Encode output, so coalescing changes only how many fabric
+// messages carry the stream, never the byte-level content a consumer decodes.
+func EncodeBatch(msgs []Message) []byte {
+	encs := make([][]byte, len(msgs))
+	total := 0
+	for i := range msgs {
+		encs[i] = Encode(msgs[i])
+		total += 4 + len(encs[i])
+	}
+	buf := make([]byte, 0, total)
+	var s [4]byte
+	for _, e := range encs {
+		binary.LittleEndian.PutUint32(s[:], uint32(len(e)))
+		buf = append(buf, s[:]...)
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// DecodeBatch unpacks a frame payload into its sub-messages. Each one is
+// decoded — and CRC-checked — independently, so a frame either yields exactly
+// the packets that were coalesced into it or an error; there is no partial
+// acceptance of a corrupted frame.
+func DecodeBatch(payload []byte) ([]Message, error) {
+	var out []Message
+	for len(payload) > 0 {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("comm: truncated frame batch header")
+		}
+		n := binary.LittleEndian.Uint32(payload[:4])
+		payload = payload[4:]
+		if int64(n) > maxFrame || int(n) > len(payload) {
+			return nil, fmt.Errorf("comm: frame batch entry of %d bytes exceeds remaining %d", n, len(payload))
+		}
+		m, err := Decode(payload[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		payload = payload[n:]
+	}
+	return out, nil
+}

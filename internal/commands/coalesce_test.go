@@ -1,0 +1,104 @@
+package commands
+
+import (
+	"bytes"
+	"testing"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/core"
+	"viracocha/internal/dataset"
+)
+
+// runStreamedVortex runs one streamed vortex request at fan-out 4 in journal
+// mode (so the client assembles tagged packets in canonical block order and
+// the merged mesh is byte-stable regardless of arrival interleaving) with the
+// given extra parameters, returning the client result, the request stats and
+// the fabric counters.
+func runStreamedVortex(t *testing.T, kv ...string) (*core.RunResult, core.RequestStats, comm.NetworkStats) {
+	t.Helper()
+	var res *core.RunResult
+	base := []string{"dataset", "engine", "workers", "4", "lambda2", "-1000",
+		"cellbatch", "32", "redistribute", "1"}
+	rt := harness(t, dataset.Engine(), 4, func(cl *core.Client, _ *core.Runtime) {
+		var err error
+		res, err = cl.Run("vortex.streamed", params(append(base, kv...)...))
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	st, _ := rt.Sched.Stats(res.ReqID)
+	return res, st, rt.Net.Stats()
+}
+
+// TestCoalescedStreamingIsTransparent is the tentpole equivalence check for
+// comm frame coalescing: at fan-out 4, turning coalescing on must leave the
+// decoded stream untouched — same packet count, byte-identical merged
+// geometry — while carrying those packets in strictly fewer fabric messages.
+func TestCoalescedStreamingIsTransparent(t *testing.T) {
+	off, stOff, netOff := runStreamedVortex(t, "coalesce", "0")
+	on, stOn, netOn := runStreamedVortex(t, "coalesce", "65536")
+	if off.Partials == 0 {
+		t.Fatal("baseline streamed nothing — coalescing test degenerate")
+	}
+	if on.Partials != off.Partials {
+		t.Fatalf("coalescing changed the packet count: %d vs %d", on.Partials, off.Partials)
+	}
+	if !bytes.Equal(on.Merged.EncodeBinary(), off.Merged.EncodeBinary()) {
+		t.Fatal("coalesced stream decoded to a different merged mesh")
+	}
+	if stOff.Frames != stOff.Streams {
+		t.Fatalf("without coalescing every packet is its own fabric message: %d frames for %d streams",
+			stOff.Frames, stOff.Streams)
+	}
+	if stOn.Streams != stOff.Streams {
+		t.Fatalf("coalescing changed the stream count: %d vs %d", stOn.Streams, stOff.Streams)
+	}
+	if stOn.Frames >= stOff.Frames {
+		t.Fatalf("coalescing did not reduce fabric frames: %d vs %d", stOn.Frames, stOff.Frames)
+	}
+	if netOn.Messages >= netOff.Messages {
+		t.Fatalf("coalescing did not reduce fabric messages: %d vs %d", netOn.Messages, netOff.Messages)
+	}
+}
+
+// TestCoalescedStreamingRespectsWindow drives the coalescer into the
+// window-full flush boundary: with a 2-packet stream window and an
+// effectively unbounded size threshold, the producer must flush its buffer
+// before parking on credit — the client cannot ack packets still sitting in
+// the coalescer, so parking with a full buffer would deadlock. The run must
+// complete with the exact baseline stream.
+func TestCoalescedStreamingRespectsWindow(t *testing.T) {
+	off, _, _ := runStreamedVortex(t, "coalesce", "0", "stream_window", "2")
+	on, stOn, _ := runStreamedVortex(t, "coalesce", "16777216", "stream_window", "2")
+	if on.Partials != off.Partials {
+		t.Fatalf("window-bounded coalescing changed the packet count: %d vs %d", on.Partials, off.Partials)
+	}
+	if !bytes.Equal(on.Merged.EncodeBinary(), off.Merged.EncodeBinary()) {
+		t.Fatal("window-bounded coalesced stream decoded to a different merged mesh")
+	}
+	if stOn.Frames >= stOn.Streams {
+		t.Fatalf("window-full boundary produced no batching: %d frames for %d streams",
+			stOn.Frames, stOn.Streams)
+	}
+}
+
+// TestCoalesceDelayFlushes: a tight age bound forces a flush on (nearly)
+// every queued packet, degenerating to the uncoalesced fabric pattern — the
+// policy knob trades latency for batching, and at its floor it must cost
+// nothing in correctness.
+func TestCoalesceDelayFlushes(t *testing.T) {
+	off, _, _ := runStreamedVortex(t, "coalesce", "0")
+	on, stOn, _ := runStreamedVortex(t, "coalesce", "16777216", "coalesce_delay_ms", "1")
+	if on.Partials != off.Partials {
+		t.Fatalf("delay-bounded coalescing changed the packet count: %d vs %d", on.Partials, off.Partials)
+	}
+	if !bytes.Equal(on.Merged.EncodeBinary(), off.Merged.EncodeBinary()) {
+		t.Fatal("delay-bounded coalesced stream decoded to a different merged mesh")
+	}
+	if stOn.Frames > stOn.Streams {
+		t.Fatalf("more frames than packets: %d frames for %d streams", stOn.Frames, stOn.Streams)
+	}
+}

@@ -96,14 +96,29 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			return nil, err
 		}
 		if doPrefetch && i+1 < len(blocks) {
-			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+			next := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]}
+			if useIndex {
+				// Ride-along: the vortex-skip index lands with the block.
+				ctx.PrefetchGradIndexed(next)
+			} else {
+				ctx.Prefetch(next)
+			}
 		}
 		bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
 		if useIndex {
 			// A cached λ2 index whose range excludes the threshold proves
 			// the block holds no vortex surface: skip the load, the λ2
-			// recomputation and the scan in one O(1) test.
-			if idx, ok := ctx.CachedMinMax(bid, l2Field); ok && idx.BlockExcludes(thresh) {
+			// recomputation and the scan in one O(1) test. Without one, a
+			// cached gradient index can prove the same bound — it is
+			// strictly weaker than the λ2 index, so it is only consulted
+			// when that is missing.
+			if idx, ok := ctx.CachedMinMax(bid, l2Field); ok {
+				if idx.BlockExcludes(thresh) {
+					ctx.BlockDone(blk)
+					ctx.Progress(i+1, len(blocks))
+					continue
+				}
+			} else if gidx, ok := ctx.CachedGradIndex(bid); ok && gidx.BlockExcludesLambda2(thresh) {
 				ctx.BlockDone(blk)
 				ctx.Progress(i+1, len(blocks))
 				continue
@@ -112,6 +127,16 @@ func (VortexDataMan) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 		b, err := ctx.Load(bid)
 		if err != nil {
 			return nil, err
+		}
+		if useIndex {
+			// One eigen-free gradient sweep — a third of the λ2 pipeline,
+			// cached across every later threshold — can prove the loaded
+			// block vortex-free before any eigenvalue is solved.
+			if gidx := ctx.GradIndex(b); gidx.BlockExcludesLambda2(thresh) {
+				ctx.BlockDone(blk)
+				ctx.Progress(i+1, len(blocks))
+				continue
+			}
 		}
 		// λ2 lives in a command-private (or cache-owned) array: the cache
 		// stores raw blocks shared across workers, so they must not be
@@ -157,14 +182,24 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 			return nil, err
 		}
 		if doPrefetch && i+1 < len(blocks) {
-			ctx.Prefetch(grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]})
+			next := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blocks[i+1]}
+			if useIndex {
+				ctx.PrefetchGradIndexed(next)
+			} else {
+				ctx.Prefetch(next)
+			}
 		}
 		bid := grid.BlockID{Dataset: ctx.Dataset.Name, Step: step, Block: blk}
 		// The lazy scan cannot afford to compute the full λ2 field just to
 		// build an index, but it happily consumes one cached by an earlier
 		// vortex.dataman run: λ2 is evaluated by the same per-node function
-		// on both paths, so the index bounds the lazy values exactly.
+		// on both paths, so the index bounds the lazy values exactly. When
+		// no λ2 index exists, the vortex-skip gradient index stands in: one
+		// eigen-free sweep (a third of the λ2 pipeline, usually prefetched
+		// as a ride-along and cached across thresholds) bounds λ2 from
+		// below, which is the only direction brick skipping needs.
 		var idx *grid.MinMaxIndex
+		var gidx *grid.GradIndex
 		if useIndex {
 			if cached, ok := ctx.CachedMinMax(bid, l2Field); ok {
 				if cached.BlockExcludes(thresh) {
@@ -172,11 +207,21 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 					continue // provably empty: skip the load entirely
 				}
 				idx = cached
+			} else if g, ok := ctx.CachedGradIndex(bid); ok && g.BlockExcludesLambda2(thresh) {
+				ctx.BlockDone(blk)
+				continue
 			}
 		}
 		b, err := ctx.Load(bid)
 		if err != nil {
 			return nil, err
+		}
+		if useIndex && idx == nil {
+			gidx = ctx.GradIndex(b)
+			if gidx.BlockExcludesLambda2(thresh) {
+				ctx.BlockDone(blk)
+				continue
+			}
 		}
 		lazy := vortex.NewLazy(b)
 		part := mesh.Acquire()
@@ -216,6 +261,14 @@ func (StreamedVortex) Run(ctx *core.Ctx) (*mesh.Mesh, error) {
 						// Jump over brick runs that provably hold no active
 						// cell — their λ2 values are never even evaluated.
 						if next := idx.SkipTo(ci, cj, ck, thresh, b.NI-1); next > ci {
+							ci = next
+							continue
+						}
+					} else if gidx != nil {
+						// Same jump from the gradient bound: bricks whose
+						// largest ‖J‖²_F stays under −thresh cannot hold a
+						// corner with λ2 < thresh.
+						if next := gidx.SkipToLambda2(ci, cj, ck, thresh, b.NI-1); next > ci {
 							ci = next
 							continue
 						}

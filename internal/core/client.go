@@ -148,8 +148,27 @@ func (c *Client) Collect(reqID uint64) (*RunResult, error) {
 			res.Merged.Append(tagged[k])
 		}
 	}
-	handle := func(sm stamped) (done bool, err error) {
+	var handle func(sm stamped) (done bool, err error)
+	handle = func(sm stamped) (done bool, err error) {
 		m := sm.msg
+		if m.Kind == comm.FrameKind {
+			// A coalesced frame: unpack and consume each sub-message as if it
+			// had arrived on its own (same arrival stamp — the frame is one
+			// fabric delivery). Each unpacked partial is acked individually,
+			// so the producer's flow window drains exactly as without
+			// coalescing.
+			subs, derr := comm.DecodeBatch(m.Payload)
+			if derr != nil {
+				return false, fmt.Errorf("core: corrupt frame: %w", derr)
+			}
+			for _, sub := range subs {
+				done, err = handle(stamped{msg: sub, at: sm.at})
+				if done || err != nil {
+					return done, err
+				}
+			}
+			return false, nil
+		}
 		if m.Kind == "partial" {
 			// Consuming a partial — even a duplicate or one from a stale
 			// attempt — returns its stream credit to the producer. The

@@ -57,9 +57,17 @@ type Ctx struct {
 	probes   Probes
 	seq      int
 	streams  int
+	frames   int // fabric messages used to deliver the streamed packets
 	attempt  int // recovery attempt this execution belongs to
 	uncached int // demand loads served without a cache hit (degraded path)
 	blockSeq map[int]int // per-block packet counter for block-tagged streaming
+
+	// Frame coalescer state: encoded partial packets awaiting their flush
+	// boundary, their summed wire size, and the clock time the oldest was
+	// queued (for the CoalesceDelay age bound).
+	frameBuf   []comm.Message
+	frameBytes int64
+	frameBorn  time.Duration
 }
 
 // ErrCancelled is returned by commands that observed a client cancellation
@@ -200,6 +208,15 @@ func (c *Ctx) PrefetchIndexed(id grid.BlockID, field string) {
 	c.proxy.Prefetch(id)
 }
 
+// PrefetchGradIndexed is Prefetch with vortex-skip ride-along: when the
+// speculatively loaded block lands in the cache, its gradient-magnitude
+// index is built and cached too, so the vortex command that follows can
+// test the λ2 bound before computing anything.
+func (c *Ctx) PrefetchGradIndexed(id grid.BlockID) {
+	c.worker.setGradIndex(true)
+	c.proxy.Prefetch(id)
+}
+
 // CachedMinMax returns the min/max index for (id, field) when some proxy
 // already holds it — local tiers first, then a peer transfer (the index is
 // hundreds of times smaller than its block, so shipping it is nearly free).
@@ -228,6 +245,38 @@ func (c *Ctx) MinMaxIndex(b *grid.Block, field string, vals []float32) *grid.Min
 	}
 	idx := grid.BuildMinMax(b, field, vals)
 	c.Charge(c.Cost.IndexCost(b.NumNodes()))
+	c.proxy.PutDerived(name, idx)
+	return idx
+}
+
+// CachedGradIndex returns the vortex-skip gradient index for the block when
+// some proxy already holds it — local tiers first, then a peer transfer
+// (like the min/max index it is hundreds of times smaller than its block).
+// Combined with GradIndex.BlockExcludesLambda2 this lets a vortex command
+// prove a block holds no surface before paying any I/O to load it.
+func (c *Ctx) CachedGradIndex(id grid.BlockID) (*grid.GradIndex, bool) {
+	e, ok := c.proxy.GetDerived(dms.GradIndexItem(id))
+	if !ok {
+		return nil, false
+	}
+	idx, ok := e.(*grid.GradIndex)
+	return idx, ok
+}
+
+// GradIndex returns the vortex-skip index for the block, served from the
+// DMS derived-entity cache when hot and built — and priced as one eigen-free
+// gradient sweep plus the brick summary — otherwise. The fresh index is
+// offered back to the cache; a budget refusal just means the next request
+// rebuilds.
+func (c *Ctx) GradIndex(b *grid.Block) *grid.GradIndex {
+	name := dms.GradIndexItem(b.ID)
+	if e, ok := c.proxy.GetDerived(name); ok {
+		if idx, ok := e.(*grid.GradIndex); ok {
+			return idx
+		}
+	}
+	idx := grid.BuildGradIndex(b)
+	c.Charge(c.Cost.GradCost(b.NumNodes()) + c.Cost.IndexCost(b.NumNodes()))
 	c.proxy.PutDerived(name, idx)
 	return idx
 }
@@ -282,6 +331,7 @@ func (c *Ctx) StreamBlock(item int, m *mesh.Mesh) error {
 
 func (c *Ctx) streamPartial(m *mesh.Mesh, block, bseq int, tagged bool) error {
 	c.worker.checkCrashed()
+	coalesce := int64(c.IntParam("coalesce", c.rt.cfg.CoalesceBytes))
 	// Backpressure: take a stream credit before sending. A producer whose
 	// window is exhausted parks here until the client acks a packet; one
 	// that stays parked past the slow-consumer deadline cancels the whole
@@ -289,6 +339,15 @@ func (c *Ctx) streamPartial(m *mesh.Mesh, block, bseq int, tagged bool) error {
 	// woken like a cancelled one so it cannot park through the verdict.
 	window := c.IntParam("stream_window", c.rt.cfg.Overload.StreamWindow)
 	if window > 0 {
+		// Flush before a full window parks us: every missing credit is a
+		// packet the client has not acked, and the client cannot ack packets
+		// still sitting in the local frame buffer.
+		if coalesce > 0 && len(c.frameBuf) > 0 &&
+			c.rt.flow.outstanding(c.Req.ReqID, c.Rank) >= window {
+			if err := c.FlushStream(); err != nil {
+				return err
+			}
+		}
 		err := c.rt.flow.Acquire(c.Req.ReqID, c.Rank, window,
 			c.rt.cfg.Overload.SlowConsumerAfter,
 			func() bool { return c.Cancelled() || c.Superseded() })
@@ -325,6 +384,62 @@ func (c *Ctx) streamPartial(m *mesh.Mesh, block, bseq int, tagged bool) error {
 		msg.Params["block"] = strconv.Itoa(block)
 		msg.Params["bseq"] = strconv.Itoa(bseq)
 	}
+	if coalesce <= 0 {
+		return c.sendStream(msg)
+	}
+	now := c.rt.Clock.Now()
+	if len(c.frameBuf) == 0 {
+		c.frameBorn = now
+	}
+	c.frameBuf = append(c.frameBuf, msg)
+	c.frameBytes += msg.WireSize()
+	delay := time.Duration(c.IntParam("coalesce_delay_ms",
+		int(c.rt.cfg.CoalesceDelay/time.Millisecond))) * time.Millisecond
+	if c.frameBytes >= coalesce || (delay > 0 && now-c.frameBorn >= delay) {
+		return c.FlushStream()
+	}
+	return nil
+}
+
+// FlushStream ships any buffered partial packets as one coalesced comm
+// frame. Safe to call when coalescing is off or nothing is buffered (a
+// no-op). Flush boundaries beyond size and age live at the callers: a full
+// stream window (streamPartial), a journaled block completion (BlockDone —
+// the watermark asserts the block's packets went out), and the command's end
+// (worker.execute, before any gather or final result).
+func (c *Ctx) FlushStream() error {
+	if len(c.frameBuf) == 0 {
+		return nil
+	}
+	buf := c.frameBuf
+	if len(buf) == 1 {
+		// A lone packet gains nothing from the frame envelope: send it bare.
+		c.frameBuf = c.frameBuf[:0]
+		c.frameBytes = 0
+		return c.sendStream(buf[0])
+	}
+	msg := comm.Message{
+		Kind:    comm.FrameKind,
+		Command: c.Req.Command,
+		ReqID:   c.Req.ReqID,
+		Params: map[string]string{
+			"worker":  c.worker.node,
+			"rank":    strconv.Itoa(c.Rank),
+			"attempt": strconv.Itoa(c.attempt),
+			"count":   strconv.Itoa(len(buf)),
+		},
+		Payload: comm.EncodeBatch(buf),
+	}
+	c.frameBuf = c.frameBuf[:0]
+	c.frameBytes = 0
+	return c.sendStream(msg)
+}
+
+// sendStream performs the fabric send of one streaming message (a bare
+// partial or a coalesced frame), accounting send time and the fabric-message
+// count.
+func (c *Ctx) sendStream(msg comm.Message) error {
+	c.frames++
 	start := c.rt.Clock.Now()
 	err := c.ep.Send(c.ClientEndpoint(), msg)
 	c.probes.Send += c.rt.Clock.Now() - start
@@ -515,6 +630,14 @@ func (c *Ctx) BlockDone(item int) {
 		return
 	}
 	c.worker.checkCrashed()
+	// Journal exactness: the watermark asserts the block's streamed packets
+	// were delivered, so buffered frames must reach the wire first — a crash
+	// after the mark must not have the block's geometry still sitting in the
+	// coalescer.
+	if err := c.FlushStream(); err != nil {
+		c.rt.Trace.Eventf(c.rt.Clock.Now(), "worker:"+c.worker.node,
+			"req %d: frame flush before watermark failed: %v", c.Req.ReqID, err)
+	}
 	c.worker.markDone(c.epoch, item)
 	msg := comm.Message{
 		Kind:    "wmark",

@@ -24,6 +24,7 @@ type RequestStats struct {
 	End      time.Duration // last worker reported done
 	Probes   Probes        // summed over the group
 	Streams  int           // partial packets streamed to the client
+	Frames   int           // fabric messages that carried them (== Streams without coalescing)
 	Errors   int
 	// Retries counts recovery dispatches (single-rank failovers and full
 	// restarts) performed for this request.
@@ -883,6 +884,7 @@ func (s *Scheduler) noteDone(m comm.Message) {
 	ar.stats.Probes.Read += time.Duration(parseNanos(m.Params["read_ns"]))
 	ar.stats.Probes.Send += time.Duration(parseNanos(m.Params["send_ns"]))
 	ar.stats.Streams += m.IntParam("streams", 0)
+	ar.stats.Frames += m.IntParam("frames", 0)
 	ar.stats.Uncached += m.IntParam("uncached", 0)
 	if m.Params["error"] != "" {
 		ar.stats.Errors++

@@ -46,6 +46,9 @@ type Worker struct {
 	// pfIndexField, when non-empty, is the scalar field whose min/max index
 	// rides along with prefetched blocks (set by Ctx.PrefetchIndexed).
 	pfIndexField string
+	// pfGradIndex, when set, builds the vortex-skip gradient index as a
+	// prefetch ride-along (set by Ctx.PrefetchGradIndexed).
+	pfGradIndex bool
 	// Journal-mode watermark state, published by the executing Ctx and
 	// piggybacked on heartbeats: the request/rank/attempt being executed and
 	// the cumulative set of completed span items. Heartbeat re-delivery makes
@@ -98,29 +101,42 @@ func (w *Worker) setIndexField(field string) {
 	w.mu.Unlock()
 }
 
+// setGradIndex remembers whether the vortex-skip gradient index should be
+// built for blocks that land via prefetch (Ctx.PrefetchGradIndexed).
+func (w *Worker) setGradIndex(on bool) {
+	w.mu.Lock()
+	w.pfGradIndex = on
+	w.mu.Unlock()
+}
+
 // indexPrefetched runs in the prefetch goroutine after a speculatively
-// loaded block entered the cache: it builds the block's min/max index and
-// caches it as a derived entity, charging the build to the background
-// goroutine's virtual time so the speculative work overlaps the demand path
-// exactly like the load itself.
+// loaded block entered the cache: it builds the block's min/max index
+// (and/or the vortex-skip gradient index) and caches it as a derived
+// entity, charging the build to the background goroutine's virtual time so
+// the speculative work overlaps the demand path exactly like the load
+// itself.
 func (w *Worker) indexPrefetched(b *grid.Block) {
 	w.mu.Lock()
 	field := w.pfIndexField
+	gradIdx := w.pfGradIndex
 	proxy := w.proxy
 	w.mu.Unlock()
-	if field == "" {
-		return
+	if field != "" {
+		if vals, ok := b.Scalars[field]; ok {
+			name := dms.IndexItem(b.ID, field)
+			if !proxy.HasDerived(name) {
+				w.rt.Clock.Sleep(w.rt.Cost.IndexCost(b.NumNodes()))
+				proxy.PutDerived(name, grid.BuildMinMax(b, field, vals))
+			}
+		}
 	}
-	vals, ok := b.Scalars[field]
-	if !ok {
-		return
+	if gradIdx {
+		name := dms.GradIndexItem(b.ID)
+		if !proxy.HasDerived(name) {
+			w.rt.Clock.Sleep(w.rt.Cost.GradCost(b.NumNodes()) + w.rt.Cost.IndexCost(b.NumNodes()))
+			proxy.PutDerived(name, grid.BuildGradIndex(b))
+		}
 	}
-	name := dms.IndexItem(b.ID, field)
-	if proxy.HasDerived(name) {
-		return
-	}
-	w.rt.Clock.Sleep(w.rt.Cost.IndexCost(b.NumNodes()))
-	proxy.PutDerived(name, grid.BuildMinMax(b, field, vals))
 }
 
 // Proxy exposes the worker's DMS proxy (tests and cache-priming).
@@ -377,6 +393,11 @@ func (w *Worker) execute(ep *comm.Endpoint, epoch int, start comm.Message) {
 	default:
 		partial, runErr = cmd.Run(ctx)
 	}
+	// Drain the frame coalescer before any gather or result: the client must
+	// hold every streamed packet before the request can finalize.
+	if ferr := ctx.FlushStream(); ferr != nil && runErr == nil {
+		runErr = ferr
+	}
 	if partial == nil {
 		partial = &mesh.Mesh{}
 	}
@@ -530,6 +551,7 @@ func (w *Worker) sendDone(ctx *Ctx, reqID uint64, runErr error) {
 		"read_ns":    strconv.FormatInt(p.Read.Nanoseconds(), 10),
 		"send_ns":    strconv.FormatInt(p.Send.Nanoseconds(), 10),
 		"streams":    strconv.Itoa(ctx.streams),
+		"frames":     strconv.Itoa(ctx.frames),
 		"uncached":   strconv.Itoa(ctx.uncached),
 	}
 	if runErr != nil {

@@ -55,6 +55,13 @@ func IndexItem(id grid.BlockID, field string) ItemName {
 	return ItemName{Source: id.String(), Type: "index:" + field, Format: "minmax"}
 }
 
+// GradIndexItem is the ItemName of the vortex-skip index: the min/max brick
+// summary of the squared velocity-gradient magnitude, from which λ2 is
+// bounded without being computed.
+func GradIndexItem(id grid.BlockID) ItemName {
+	return IndexItem(id, grid.GradMagField)
+}
+
 // Lambda2Item is the ItemName of a block's derived λ2 scalar field (entity
 // kind "l2"; the time step is part of the source).
 func Lambda2Item(id grid.BlockID) ItemName {

@@ -265,6 +265,140 @@ func Lambda2(j Mat3) float64 {
 	return ev[1]
 }
 
+// Lambda2Jac is the specialized register form of Lambda2 used by the
+// slab-blocked vortex kernel: the same arithmetic, operation for operation,
+// as Symmetric/Antisymmetric/Mul/Add/EigenvaluesSymmetric3 — results are
+// bit-identical (guarded by the vortex determinism test) — but on scalars,
+// computing only the upper triangle of S²+Q² (the eigen-solve reads nothing
+// else) and selecting the middle eigenvalue without materializing Mat3
+// temporaries.
+func Lambda2Jac(j00, j01, j02, j10, j11, j12, j20, j21, j22 float64) float64 {
+	// S = ½(J+Jᵀ). Addition commutes exactly, so the lower triangle equals
+	// the upper and is not recomputed.
+	s00 := 0.5 * (j00 + j00)
+	s01 := 0.5 * (j01 + j10)
+	s02 := 0.5 * (j02 + j20)
+	s11 := 0.5 * (j11 + j11)
+	s12 := 0.5 * (j12 + j21)
+	s22 := 0.5 * (j22 + j22)
+	// Q = ½(J−Jᵀ). Subtraction does NOT commute on signed zeros, so the
+	// lower triangle keeps its own expressions instead of negating the
+	// upper; the diagonal stays written out for the same reason.
+	q00 := 0.5 * (j00 - j00)
+	q01 := 0.5 * (j01 - j10)
+	q02 := 0.5 * (j02 - j20)
+	q10 := 0.5 * (j10 - j01)
+	q11 := 0.5 * (j11 - j11)
+	q12 := 0.5 * (j12 - j21)
+	q20 := 0.5 * (j20 - j02)
+	q21 := 0.5 * (j21 - j12)
+	q22 := 0.5 * (j22 - j22)
+
+	// Upper triangle of S·S + Q·Q, accumulated in Mul's exact order
+	// (running sum from zero).
+	acc := 0.0
+	acc += s00 * s00
+	acc += s01 * s01
+	acc += s02 * s02
+	m00 := acc
+	acc = 0.0
+	acc += q00 * q00
+	acc += q01 * q10
+	acc += q02 * q20
+	m00 += acc
+	acc = 0.0
+	acc += s00 * s01
+	acc += s01 * s11
+	acc += s02 * s12
+	m01 := acc
+	acc = 0.0
+	acc += q00 * q01
+	acc += q01 * q11
+	acc += q02 * q21
+	m01 += acc
+	acc = 0.0
+	acc += s00 * s02
+	acc += s01 * s12
+	acc += s02 * s22
+	m02 := acc
+	acc = 0.0
+	acc += q00 * q02
+	acc += q01 * q12
+	acc += q02 * q22
+	m02 += acc
+	acc = 0.0
+	acc += s01 * s01
+	acc += s11 * s11
+	acc += s12 * s12
+	m11 := acc
+	acc = 0.0
+	acc += q10 * q01
+	acc += q11 * q11
+	acc += q12 * q21
+	m11 += acc
+	acc = 0.0
+	acc += s01 * s02
+	acc += s11 * s12
+	acc += s12 * s22
+	m12 := acc
+	acc = 0.0
+	acc += q10 * q02
+	acc += q11 * q12
+	acc += q12 * q22
+	m12 += acc
+	acc = 0.0
+	acc += s02 * s02
+	acc += s12 * s12
+	acc += s22 * s22
+	m22 := acc
+	acc = 0.0
+	acc += q20 * q02
+	acc += q21 * q12
+	acc += q22 * q22
+	m22 += acc
+
+	// EigenvaluesSymmetric3 inlined, keeping only the middle root.
+	p1 := m01*m01 + m02*m02 + m12*m12
+	if p1 == 0 {
+		return med3(m00, m11, m22)
+	}
+	q := (m00 + m11 + m22) / 3
+	b00, b11, b22 := m00-q, m11-q, m22-q
+	p2 := b00*b00 + b11*b11 + b22*b22 + 2*p1
+	p := math.Sqrt(p2 / 6)
+	invP := 1 / p
+	c00, c01, c02 := b00*invP, m01*invP, m02*invP
+	c11, c12 := b11*invP, m12*invP
+	c22 := b22 * invP
+	detB := c00*(c11*c22-c12*c12) - c01*(c01*c22-c12*c02) + c02*(c01*c12-c11*c02)
+	r := detB / 2
+	if r < -1 {
+		r = -1
+	} else if r > 1 {
+		r = 1
+	}
+	phi := math.Acos(r) / 3
+	eig2 := q + 2*p*math.Cos(phi)
+	eig0 := q + 2*p*math.Cos(phi+2*math.Pi/3)
+	eig1 := 3*q - eig0 - eig2
+	return med3(eig0, eig1, eig2)
+}
+
+// med3 selects the middle of three values with sort3's comparison sequence —
+// pure selection, no arithmetic, so it matches sort3-then-index exactly.
+func med3(v0, v1, v2 float64) float64 {
+	if v0 > v1 {
+		v0, v1 = v1, v0
+	}
+	if v1 > v2 {
+		v1 = v2
+	}
+	if v0 > v1 {
+		return v0
+	}
+	return v1
+}
+
 func sort3(v *[3]float64) {
 	if v[0] > v[1] {
 		v[0], v[1] = v[1], v[0]

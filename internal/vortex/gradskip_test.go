@@ -1,0 +1,147 @@
+package vortex
+
+import (
+	"bytes"
+	"testing"
+
+	"viracocha/internal/grid"
+	"viracocha/internal/iso"
+	"viracocha/internal/mesh"
+)
+
+// scanVortex runs the streamed command's cell scan over the whole block into
+// one mesh: lazy λ2 at the corners, fused test-and-extract per cell. With a
+// gradient index it jumps brick runs exactly like StreamedVortex does.
+func scanVortex(b *grid.Block, thresh float64, gidx *grid.GradIndex) *mesh.Mesh {
+	lazy := NewLazy(b)
+	defer lazy.Release()
+	out := mesh.Acquire()
+	ex := iso.NewExtractor(b, out)
+	defer ex.Close()
+	for ck := 0; ck < b.NK-1; ck++ {
+		for cj := 0; cj < b.NJ-1; cj++ {
+			for ci := 0; ci < b.NI-1; {
+				if gidx != nil {
+					if next := gidx.SkipToLambda2(ci, cj, ck, thresh, b.NI-1); next > ci {
+						ci = next
+						continue
+					}
+				}
+				lazy.EnsureCell(ci, cj, ck)
+				ex.Cell(lazy.Vals(), thresh, ci, cj, ck)
+				ci++
+			}
+		}
+	}
+	return out
+}
+
+// brickNodeSpan returns the inclusive node range brick (bi,bj,bk) covers,
+// mirroring BuildMinMax's cell-to-node closure.
+func brickNodeSpan(b *grid.Block, bi, bj, bk int) (i0, i1, j0, j1, k0, k1 int) {
+	ci, cj, ck := b.NI-1, b.NJ-1, b.NK-1
+	i0, i1 = bi*grid.MinMaxBrick, min((bi+1)*grid.MinMaxBrick, ci)
+	j0, j1 = bj*grid.MinMaxBrick, min((bj+1)*grid.MinMaxBrick, cj)
+	k0, k1 = bk*grid.MinMaxBrick, min((bk+1)*grid.MinMaxBrick, ck)
+	return
+}
+
+// TestGradIndexEquivalence is the indexed-vs-unindexed λ2 suite on random
+// curvilinear blocks: for sparse, dense and vortex-free fields across a
+// range of thresholds, (1) every brick the gradient bound excludes must
+// contain only nodes with λ2 > threshold — the skip is provable, never
+// heuristic — and (2) the guided scan's mesh must be byte-identical to the
+// full scan's.
+func TestGradIndexEquivalence(t *testing.T) {
+	blocks := map[string]*grid.Block{
+		"sparse":  lambOseenBlock(21),                    // one tight core, mostly quiet
+		"dense":   randomCurvilinearBlock(11, 17, 13, 9), // vortical patches everywhere
+		"novort":  shearBlock(13),                        // pure strain, no vortex at all
+		"degen":   degenerateBlock(9),                    // singular plane (nonVortex nodes)
+		"rsparse": randomCurvilinearBlock(12, 19, 11, 7),
+	}
+	for name, b := range blocks {
+		field := make([]float32, b.NumNodes())
+		ComputeInto(b, field)
+		gidx := grid.BuildGradIndex(b)
+		// Thresholds from "almost everything active" to "nothing active",
+		// plus the never-skip side (≥ 0).
+		for _, thresh := range []float64{-1e-4, -0.05, -1, -10, -1e4, 0, 0.5} {
+			skipped := 0
+			for bk := 0; bk < gidx.BK; bk++ {
+				for bj := 0; bj < gidx.BJ; bj++ {
+					for bi := 0; bi < gidx.BI; bi++ {
+						if !gidx.BrickExcludesLambda2(bi, bj, bk, thresh) {
+							continue
+						}
+						skipped++
+						i0, i1, j0, j1, k0, k1 := brickNodeSpan(b, bi, bj, bk)
+						for k := k0; k <= k1; k++ {
+							for j := j0; j <= j1; j++ {
+								for i := i0; i <= i1; i++ {
+									if v := float64(field[b.Index(i, j, k)]); v < thresh {
+										t.Fatalf("%s thresh %v: brick (%d,%d,%d) excluded but node (%d,%d,%d) has λ2 %v",
+											name, thresh, bi, bj, bk, i, j, k, v)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+			if thresh >= 0 && skipped != 0 {
+				t.Fatalf("%s: %d bricks excluded at thresh %v ≥ 0 — the bound has no power there",
+					name, skipped, thresh)
+			}
+			if gidx.BlockExcludesLambda2(thresh) {
+				for idx, v := range field {
+					if float64(v) < thresh {
+						t.Fatalf("%s thresh %v: block excluded but node %d has λ2 %v", name, thresh, idx, v)
+					}
+				}
+			}
+			full := scanVortex(b, thresh, nil)
+			guided := scanVortex(b, thresh, gidx)
+			if !bytes.Equal(full.EncodeBinary(), guided.EncodeBinary()) {
+				t.Fatalf("%s thresh %v: guided scan mesh differs from full scan", name, thresh)
+			}
+			mesh.Release(full)
+			mesh.Release(guided)
+		}
+	}
+}
+
+// TestGradIndexSkipsQuietBlocks checks the index actually has skipping power
+// where it should: a pure-strain block is provably vortex-free at any
+// negative threshold, and a Lamb-Oseen block far from the core skips most of
+// its bricks at a deep threshold.
+func TestGradIndexSkipsQuietBlocks(t *testing.T) {
+	if gidx := grid.BuildGradIndex(shearBlock(13)); !gidx.BlockExcludesLambda2(-3) {
+		t.Fatal("pure-strain block not excluded at λ2 < -3")
+	}
+	b := lambOseenBlock(33)
+	gidx := grid.BuildGradIndex(b)
+	field := make([]float32, b.NumNodes())
+	ComputeInto(b, field)
+	minv := float64(0)
+	for _, v := range field {
+		if float64(v) < minv {
+			minv = float64(v)
+		}
+	}
+	thresh := minv * 0.5 // deep threshold: only the core is active
+	skipped, total := 0, 0
+	for bk := 0; bk < gidx.BK; bk++ {
+		for bj := 0; bj < gidx.BJ; bj++ {
+			for bi := 0; bi < gidx.BI; bi++ {
+				total++
+				if gidx.BrickExcludesLambda2(bi, bj, bk, thresh) {
+					skipped++
+				}
+			}
+		}
+	}
+	if skipped*4 < total {
+		t.Fatalf("gradient index skipped %d/%d bricks at thresh %v — no useful culling", skipped, total, thresh)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package vortex
+
+const raceEnabled = true

@@ -27,17 +27,7 @@ const nonVortex = 1e30
 // "lambda2" scalar field, and returns the number of nodes computed. It is
 // idempotent: an existing field is recomputed.
 func Compute(b *grid.Block) int {
-	f := b.EnsureScalar(FieldName)
-	n := 0
-	for k := 0; k < b.NK; k++ {
-		for j := 0; j < b.NJ; j++ {
-			for i := 0; i < b.NI; i++ {
-				f[b.Index(i, j, k)] = float32(nodeLambda2(b, i, j, k))
-				n++
-			}
-		}
-	}
-	return n
+	return computeSlab(b, b.EnsureScalar(FieldName))
 }
 
 // ComputeInto evaluates λ2 at every node into the caller-provided array
@@ -45,18 +35,44 @@ func Compute(b *grid.Block) int {
 // use, since cached blocks are shared across workers and must not be
 // mutated. It returns the number of nodes computed.
 func ComputeInto(b *grid.Block, out []float32) int {
+	return computeSlab(b, out)
+}
+
+// computeSlab is the slab-blocked λ2 sweep: the velocity gradient is
+// evaluated one (j,k) node row at a time into pooled scratch by the
+// flat-index row kernel, and each tensor feeds the specialized eigen-solve.
+// Every float operation matches the seed per-node nodeLambda2 path, so the
+// output is bit-identical (TestSlabDeterminism); only the bookkeeping —
+// index recomputation, Mat3 copies, per-node call overhead — is gone.
+func computeSlab(b *grid.Block, out []float32) int {
+	r := grid.AcquireJacRow(b.NI)
 	n := 0
 	for k := 0; k < b.NK; k++ {
 		for j := 0; j < b.NJ; j++ {
+			b.VelocityGradientRow(j, k, r.Jac, r.OK)
+			base := b.Index(0, j, k)
+			jac, ok := r.Jac, r.OK
 			for i := 0; i < b.NI; i++ {
-				out[b.Index(i, j, k)] = float32(nodeLambda2(b, i, j, k))
+				if !ok[i] {
+					out[base+i] = float32(float64(nonVortex))
+					n++
+					continue
+				}
+				o := 9 * i
+				out[base+i] = float32(mathx.Lambda2Jac(
+					jac[o], jac[o+1], jac[o+2],
+					jac[o+3], jac[o+4], jac[o+5],
+					jac[o+6], jac[o+7], jac[o+8]))
 				n++
 			}
 		}
 	}
+	grid.ReleaseJacRow(r)
 	return n
 }
 
+// nodeLambda2 is the seed per-node reference kernel, retained verbatim as
+// the determinism oracle the slab-blocked sweep is pinned against.
 func nodeLambda2(b *grid.Block, i, j, k int) float64 {
 	jac, ok := b.VelocityGradient(i, j, k)
 	if !ok {
@@ -65,17 +81,41 @@ func nodeLambda2(b *grid.Block, i, j, k int) float64 {
 	return mathx.Lambda2(jac)
 }
 
+// nodeLambda2Fast is nodeLambda2 through the specialized eigen-solve —
+// bit-identical by construction — for the lazy on-demand path, which cannot
+// amortize a whole row of gradients per evaluation.
+func nodeLambda2Fast(b *grid.Block, i, j, k int) float64 {
+	jac, ok := b.VelocityGradient(i, j, k)
+	if !ok {
+		return nonVortex
+	}
+	return mathx.Lambda2Jac(
+		jac[0][0], jac[0][1], jac[0][2],
+		jac[1][0], jac[1][1], jac[1][2],
+		jac[2][0], jac[2][1], jac[2][2])
+}
+
 // fieldPool recycles the per-request λ2 scratch arrays the commands hand to
 // ComputeInto. Blocks within a data set share dimensions, so a pooled array
-// almost always fits the next request without reallocating.
-var fieldPool sync.Pool
+// almost always fits the next request without reallocating. Arrays travel
+// inside reusable fieldBox headers (with drained boxes parked in boxPool) so
+// a Release/Acquire cycle allocates nothing — boxing the slice header anew
+// on every Put would cost one allocation per cycle.
+var fieldPool, boxPool sync.Pool
+
+type fieldBox struct{ s []float32 }
 
 // AcquireField returns a scratch array of length n for ComputeInto. Contents
 // are unspecified — ComputeInto overwrites every element. Pair with
 // ReleaseField once the extraction that reads the field is done.
 func AcquireField(n int) []float32 {
-	if v, _ := fieldPool.Get().(*[]float32); v != nil && cap(*v) >= n {
-		return (*v)[:n]
+	if b, _ := fieldPool.Get().(*fieldBox); b != nil {
+		s := b.s
+		b.s = nil
+		boxPool.Put(b)
+		if cap(s) >= n {
+			return s[:n]
+		}
 	}
 	return make([]float32, n)
 }
@@ -86,8 +126,12 @@ func ReleaseField(s []float32) {
 	if cap(s) == 0 {
 		return
 	}
-	s = s[:0]
-	fieldPool.Put(&s)
+	b, _ := boxPool.Get().(*fieldBox)
+	if b == nil {
+		b = &fieldBox{}
+	}
+	b.s = s[:0]
+	fieldPool.Put(b)
 }
 
 // Lazy evaluates λ2 per node on demand with memoization. The backing array
@@ -100,8 +144,10 @@ type Lazy struct {
 	n    int
 }
 
-// lazyPool recycles Lazy evaluators (their vals and done arrays) across
-// blocks and requests.
+// lazyPool recycles Lazy evaluators (their done arrays) across blocks and
+// requests; the vals array comes from the shared fieldPool, so the lazy
+// path and ComputeInto reuse the same scratch across Release/re-acquire
+// cycles instead of each holding a private copy.
 var lazyPool sync.Pool
 
 // NewLazy prepares a lazy evaluator for the block, reusing pooled scratch
@@ -114,21 +160,22 @@ func NewLazy(b *grid.Block) *Lazy {
 	}
 	l.B = b
 	l.n = 0
-	if cap(l.vals) >= nn && cap(l.done) >= nn {
-		l.vals = l.vals[:nn]
+	l.vals = AcquireField(nn)
+	if cap(l.done) >= nn {
 		l.done = l.done[:nn]
 		clear(l.done) // vals needs no clearing: done guards every read
 	} else {
-		l.vals = make([]float32, nn)
 		l.done = make([]bool, nn)
 	}
 	return l
 }
 
-// Release returns the evaluator's scratch to the pool. The caller must not
+// Release returns the evaluator's scratch to the pools. The caller must not
 // use l (or the array from Vals) afterwards.
 func (l *Lazy) Release() {
 	l.B = nil
+	ReleaseField(l.vals)
+	l.vals = nil
 	lazyPool.Put(l)
 }
 
@@ -136,7 +183,7 @@ func (l *Lazy) Release() {
 func (l *Lazy) Node(i, j, k int) float64 {
 	idx := l.B.Index(i, j, k)
 	if !l.done[idx] {
-		l.vals[idx] = float32(nodeLambda2(l.B, i, j, k))
+		l.vals[idx] = float32(nodeLambda2Fast(l.B, i, j, k))
 		l.done[idx] = true
 		l.n++
 	}

@@ -108,6 +108,17 @@ type Options struct {
 	// trees as derived DMS entities and skip provably inactive regions.
 	// Requests override per call with the "index" parameter.
 	UseIndex bool
+	// CoalesceBytes turns streamed-partial frame coalescing on: producers
+	// batch small partial packets into one comm frame until the buffered
+	// wire bytes reach this threshold (or a flush boundary arrives first).
+	// Payload bytes, delivery order and flow-control windows are unchanged;
+	// only the per-message fabric charge is batched. <= 0 disables.
+	// Requests override with the "coalesce" parameter.
+	CoalesceBytes int
+	// CoalesceDelay bounds how long a buffered packet may age before its
+	// frame is flushed regardless of size; <= 0 means no age bound.
+	// Requests override with the "coalesce_delay_ms" parameter.
+	CoalesceDelay time.Duration
 	// FT overrides the fault-tolerance defaults (heartbeat interval,
 	// failure window, retry budget and backoff, block-granular recovery and
 	// straggler speculation); nil keeps DefaultFTConfig.
@@ -161,6 +172,8 @@ func New(opts Options) *System {
 		cfg.Cost = core.ZeroCostModel()
 	}
 	cfg.UseIndex = opts.UseIndex
+	cfg.CoalesceBytes = opts.CoalesceBytes
+	cfg.CoalesceDelay = opts.CoalesceDelay
 	if opts.FT != nil {
 		cfg.FT = *opts.FT
 	}
