@@ -22,7 +22,7 @@ race:
 # control, session quotas, stream backpressure, slow-consumer culling, the
 # DMS memory budget and the pending-queue ring.
 overload:
-	$(GO) test -race -count=1 -run 'Overload|Admission|Quota|SlowConsumer|StreamWindow|MemBudget|Budget|MsgRing|Evict|Shed|Corrupt' ./internal/core/ ./internal/dms/ ./internal/storage/ ./internal/faults/
+	$(GO) test -race -count=1 -run 'Overload|Admission|Quota|SlowConsumer|StreamWindow|MemBudget|Budget|MsgRing|Evict|Shed|Corrupt|Memo' ./internal/core/ ./internal/dms/ ./internal/storage/ ./internal/faults/
 
 # Randomized fault-scenario soak: SOAK_SEEDS crash timelines (varying
 # command, group size, victim rank and crash time) each checked for result
@@ -48,34 +48,36 @@ vet:
 
 # Kernel micro-benchmarks (real wall time, not virtual) plus the recorded
 # session pairs: the extraction, mesh and codec hot paths, the min/max-index
-# iso slider sweep, the gradient-index vortex threshold sweep and the
-# coalesced-frame packet counters. Writes the raw output to BENCH_5.txt and a
-# JSON digest to BENCH_5.json for the perf trajectory.
-KERNEL_BENCH ?= MarchingTetrahedra|ExtractRangeReuse|MeshWeld|MeshEncodeBinary|MeshAppend$$|ComputeNormals|Lambda2Field|BlockEncodeDecode|SliderSweep|VortexSweep|StreamedFrames
+# iso slider sweep, the gradient-index vortex threshold sweep, the
+# coalesced-frame packet counters and the N-session slider-storm memoization
+# pairs. Writes the raw output to BENCH_6.txt and a JSON digest to
+# BENCH_6.json for the perf trajectory.
+KERNEL_BENCH ?= MarchingTetrahedra|ExtractRangeReuse|MeshWeld|MeshEncodeBinary|MeshAppend$$|ComputeNormals|Lambda2Field|BlockEncodeDecode|SliderSweep|VortexSweep|StreamedFrames|SliderStorm
 bench:
-	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem -count=1 . | tee BENCH_5.txt
-	awk -f scripts/bench2json.awk BENCH_5.txt > BENCH_5.json
+	$(GO) test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem -count=1 . | tee BENCH_6.txt
+	awk -f scripts/bench2json.awk BENCH_6.txt > BENCH_6.json
 
 # One-iteration smoke pass over the headline benchmarks: catches a broken or
 # wildly regressed hot path in seconds without recording numbers. Part of
 # `make check`.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Lambda2Field|SliderSweepWarm|VortexSweepWarm|StreamedFrames' -benchtime 1x -count=1 .
+	$(GO) test -run '^$$' -bench 'Lambda2Field|SliderSweepWarm|VortexSweepWarm|StreamedFrames|SliderStormMemoN4' -benchtime 1x -count=1 .
 
 # Before/after comparison of two saved bench outputs (defaults diff the
 # previous PR's record against this one's):
-#   make benchcmp [OLD=BENCH_4.txt NEW=BENCH_5.txt]
-OLD ?= BENCH_4.txt
-NEW ?= BENCH_5.txt
+#   make benchcmp [OLD=BENCH_5.txt NEW=BENCH_6.txt]
+OLD ?= BENCH_5.txt
+NEW ?= BENCH_6.txt
 benchcmp:
 	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make benchcmp OLD=old.txt NEW=new.txt"; exit 1; }
 	@awk -f scripts/benchcmp.awk $(OLD) $(NEW)
 
 # Short fuzz pass over the message codec (incl. fault-plan-mutated frames
-# and coalesced batch frames).
+# and coalesced batch frames) and the memo-key float canonicalizer.
 fuzz:
 	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeMutated -fuzztime=10s
 	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeBatchMutated -fuzztime=10s
+	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzCanonicalFloat -fuzztime=10s
 
 check: vet build test race churn bench-smoke
 

@@ -9,9 +9,13 @@
 package viracocha
 
 import (
+	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"viracocha/internal/bench"
 	"viracocha/internal/core"
@@ -247,6 +251,110 @@ func benchStreamedFrames(b *testing.B, coalesce string) {
 
 func BenchmarkStreamedFramesRaw(b *testing.B)       { benchStreamedFrames(b, "0") }
 func BenchmarkStreamedFramesCoalesced(b *testing.B) { benchStreamedFrames(b, "65536") }
+
+// benchSliderStorm is the N-session slider storm: N concurrent viewers all
+// land on the same isovalue. With memoization off every session pays its own
+// extraction, so summed extraction time grows ~linearly in N; with it on, one
+// producer extracts while the other N-1 sessions attach as multicast
+// subscribers, so server extraction time stays ~flat from N=1 to N=64. The
+// memo variant finishes with a warm repeat request that must add zero
+// extraction work. Every session's mesh is checked bit-identical within the
+// run (the cross-path identity against a memo-off run is pinned by
+// TestMemoDurableResume and the core memo tests).
+func benchSliderStorm(b *testing.B, n int, memo bool) {
+	memoV := "0"
+	if memo {
+		memoV = "1"
+	}
+	params := bench.Params(
+		"dataset", "engine", "workers", "4", "iso", "500",
+		"ex", "-5", "ey", "0.5", "ez", "0.5", "granularity", "1",
+		"redistribute", "1", "memo", memoV)
+	var sessionSecs, extractSecs, extractions float64
+	for i := 0; i < b.N; i++ {
+		e := bench.NewEnv(bench.EnvConfig{DS: dataset.Engine().WithScale(2), Workers: 4, Prefetcher: "obl"})
+		meshes := make([][]byte, n)
+		errs := make([]error, n)
+		var remaining atomic.Int32
+		remaining.Store(int32(n))
+		e.V.Go(func() {
+			storm := vclock.NewGate(e.V)
+			cls := make([]*core.Client, n)
+			for j := range cls {
+				cls[j] = core.NewClient(e.RT)
+			}
+			for j := range cls {
+				j := j
+				e.V.Go(func() {
+					res, err := cls[j].Run("iso.viewer", params)
+					errs[j] = err
+					if err == nil {
+						meshes[j] = res.Merged.EncodeBinary()
+					}
+					if remaining.Add(-1) == 0 {
+						storm.Open()
+					}
+				})
+			}
+			storm.Wait()
+			if memo {
+				// Warm repeat: a later identical session must be served
+				// entirely from the result cache.
+				before := producerCount(e.RT)
+				if _, err := core.NewClient(e.RT).Run("iso.viewer", params); err != nil {
+					errs[0] = err
+				} else if after := producerCount(e.RT); after != before {
+					errs[0] = fmt.Errorf("warm repeat ran %d extra extractions", after-before)
+				}
+			}
+			e.RT.Shutdown()
+		})
+		e.V.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 1; j < n; j++ {
+			if !bytes.Equal(meshes[j], meshes[0]) {
+				b.Fatalf("session %d mesh differs within the storm", j)
+			}
+		}
+		sessionSecs = e.V.Now().Seconds()
+		var sum time.Duration
+		count := 0
+		for _, st := range e.RT.Sched.AllStats() {
+			if st.Workers > 0 {
+				sum += st.Probes.Compute
+				count++
+			}
+		}
+		extractSecs, extractions = sum.Seconds(), float64(count)
+	}
+	b.ReportMetric(sessionSecs, "virtual_s")
+	b.ReportMetric(extractSecs, "extract_s")
+	b.ReportMetric(extractions, "extractions")
+}
+
+// producerCount counts finished requests that ran a real extraction.
+func producerCount(rt *core.Runtime) int {
+	n := 0
+	for _, st := range rt.Sched.AllStats() {
+		if st.Workers > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func BenchmarkSliderStormColdN1(b *testing.B)  { benchSliderStorm(b, 1, false) }
+func BenchmarkSliderStormColdN4(b *testing.B)  { benchSliderStorm(b, 4, false) }
+func BenchmarkSliderStormColdN16(b *testing.B) { benchSliderStorm(b, 16, false) }
+func BenchmarkSliderStormColdN64(b *testing.B) { benchSliderStorm(b, 64, false) }
+func BenchmarkSliderStormMemoN1(b *testing.B)  { benchSliderStorm(b, 1, true) }
+func BenchmarkSliderStormMemoN4(b *testing.B)  { benchSliderStorm(b, 4, true) }
+func BenchmarkSliderStormMemoN16(b *testing.B) { benchSliderStorm(b, 16, true) }
+func BenchmarkSliderStormMemoN64(b *testing.B) { benchSliderStorm(b, 64, true) }
 
 // BenchmarkSliderSweepScanFull is the unindexed wall-time scan kernel for the
 // repeated-query workload: every slider position rescans every cell of every

@@ -1,18 +1,23 @@
-// Command viracocha-inspect prints the contents of Viracocha binary files:
-// block files written by viracocha-gen (.vrb) and mesh files written by
-// viracocha-client (-mesh).
+// Command viracocha-inspect prints the contents of Viracocha files: block
+// files written by viracocha-gen (.vrb), mesh files written by
+// viracocha-client (-mesh), and JSON stats reports written by
+// viracocha-server (-stats).
 //
 //	viracocha-inspect data/engine/t000/b003.vrb
 //	viracocha-inspect -verbose result.mesh
+//	viracocha-inspect server-stats.json
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
 
+	"viracocha"
 	"viracocha/internal/mesh"
 	"viracocha/internal/storage"
 )
@@ -35,6 +40,10 @@ func inspect(path string, verbose bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	if rep, ok := decodeStatsReport(data); ok {
+		printStatsReport(path, rep, verbose)
+		return nil
 	}
 	if b, err := storage.DecodeBlock(data); err == nil {
 		fmt.Printf("%s: block %s\n", path, b.ID)
@@ -77,7 +86,51 @@ func inspect(path string, verbose bool) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("not a Viracocha block or mesh file")
+	return fmt.Errorf("not a Viracocha block, mesh or stats-report file")
+}
+
+// decodeStatsReport recognizes a server stats report: a JSON object whose
+// marker field carries the format signature.
+func decodeStatsReport(data []byte) (viracocha.StatsReport, bool) {
+	var rep viracocha.StatsReport
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return rep, false
+	}
+	if err := json.Unmarshal(trimmed, &rep); err != nil || rep.Marker == "" {
+		return rep, false
+	}
+	return rep, true
+}
+
+func printStatsReport(path string, rep viracocha.StatsReport, verbose bool) {
+	fmt.Printf("%s: stats report (format %s)\n", path, rep.Marker)
+	fmt.Printf("  admission rejected: queue %d, quota %d, drain %d\n",
+		rep.Overload.RejectedQueue, rep.Overload.RejectedQuota, rep.Overload.RejectedDrain)
+	fmt.Printf("  budget    used %d / limit %d bytes (peak %d, rejected %d, shed %d)\n",
+		rep.Budget.Used, rep.Budget.Limit, rep.Budget.Peak, rep.Budget.Rejected, rep.Budget.Shed)
+	fmt.Printf("  memo      hits %d, misses %d, evictions %d\n",
+		rep.Memo.Hits, rep.Memo.Misses, rep.Memo.Evictions)
+	fmt.Printf("            invalidations %d, budget-rejected %d; %d entries, %d bytes cached\n",
+		rep.Memo.Invalidations, rep.Memo.RejectedBudget, rep.Memo.Entries, rep.Memo.BytesCached)
+	fmt.Printf("  requests  %d finished\n", len(rep.Requests))
+	if !verbose {
+		return
+	}
+	for _, st := range rep.Requests {
+		extra := ""
+		if st.MemoHit {
+			extra = " memo-hit"
+		}
+		if st.Subscribers > 0 {
+			extra += fmt.Sprintf(" subscribers=%d", st.Subscribers)
+		}
+		if st.Errors > 0 {
+			extra += fmt.Sprintf(" errors=%d", st.Errors)
+		}
+		fmt.Printf("  req %-5d %-22s workers=%d streams=%d runtime=%v%s\n",
+			st.ReqID, st.Command, st.Workers, st.Streams, st.TotalRuntime(), extra)
+	}
 }
 
 func valueRange(vs []float32) (lo, hi float64) {

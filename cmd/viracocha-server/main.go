@@ -52,6 +52,8 @@ func main() {
 		window    = flag.Int("stream-window", 32, "unacked partial packets per stream before the producer parks (0 = no flow control)")
 		slowAfter = flag.Duration("slow-consumer-after", 5*time.Second, "cancel a request parked on stream credit this long (0 = park forever)")
 		useIndex  = flag.Bool("index", false, "enable min/max acceleration indexes: cache per-(block, field) brick indexes, lambda2 fields and BSP trees as derived DMS entities (requests override with index=0/1)")
+		memo      = flag.Bool("memo", false, "enable cross-session result memoization: identical requests are served from a content-addressed result cache, and concurrent identical requests coalesce onto one multicast extraction (requests override with memo=0/1)")
+		statsFile = flag.String("stats", "", "write a JSON stats report (admission, budget, memo, per-request records) to this file on graceful shutdown")
 		coalesce  = flag.Int("coalesce", 0, "coalesce streamed partials into comm frames of about this many bytes (0 = off; requests override with coalesce=N)")
 		coalDelay = flag.Duration("coalesce-delay", 0, "flush a coalesced frame once its oldest packet is this old, regardless of size (0 = no age bound)")
 		lease     = flag.Duration("lease", 30*time.Second, "durable-session lease: how long a disconnected client's session (and its in-flight streams) survives awaiting resume")
@@ -68,6 +70,7 @@ func main() {
 		StorageLatency:   *latency,
 		StorageBandwidth: *bandwidth,
 		UseIndex:         *useIndex,
+		Memo:             *memo,
 		CoalesceBytes:    *coalesce,
 		CoalesceDelay:    *coalDelay,
 		SessionLease:     *lease,
@@ -156,6 +159,13 @@ func main() {
 		fmt.Printf("%v: draining (timeout %v)...\n", s, *drainTmo)
 		if err := sys.Drain(*drainTmo); err != nil {
 			fmt.Println(err)
+		}
+		if *statsFile != "" {
+			if err := sys.WriteStatsReport(*statsFile); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Printf("stats report written to %s\n", *statsFile)
+			}
 		}
 		if *snapshot != "" {
 			data, err := sys.SnapshotSessions()

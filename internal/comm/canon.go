@@ -1,0 +1,30 @@
+package comm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CanonicalFloat returns the canonical text form of a parameter value that
+// parses fully as a finite float64: the shortest 'g'-format rendering that
+// round-trips to the same value. Textually different but numerically equal
+// spellings ("0.50", "0.5", "5e-1", "007") all map to one canonical string,
+// which is what lets a content-addressed request key treat them as the same
+// request. Values that do not parse as a finite float (command names, data
+// set names, comma lists) are returned unchanged.
+//
+// The parse deliberately mirrors Message.FloatParam: leading/trailing ASCII
+// space is tolerated, NaN and infinities are refused (they are never valid
+// request parameters and must not collide with each other).
+func CanonicalFloat(s string) string {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return s
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return s
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

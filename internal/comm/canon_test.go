@@ -1,0 +1,91 @@
+package comm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalFloat(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		// Numerically equal spellings collapse to one canonical form.
+		{"0.5", "0.5"},
+		{"0.50", "0.5"},
+		{".5", "0.5"},
+		{"5e-1", "0.5"},
+		{"0.5000000", "0.5"},
+		{"007", "7"},
+		{"7", "7"},
+		{"7.0", "7"},
+		{"1e3", "1000"},
+		{"1000", "1000"},
+		{"-1000", "-1000"},
+		{"-1e3", "-1000"},
+		{"0", "0"},
+		{"-0", "-0"}, // IEEE negative zero is a distinct value; keep it distinct
+		{"0.0", "0"},
+		{"  0.5  ", "0.5"}, // FloatParam's scan skips space; so does the key
+		{"1e-07", "1e-07"},
+		{"0.0000001", "1e-07"},
+		{"3.1415926535897932384626", "3.141592653589793"},
+		// Non-floats pass through untouched.
+		{"", ""},
+		{"engine", "engine"},
+		{"engine/t003", "engine/t003"},
+		{"1,2,3", "1,2,3"},
+		{"0x10", "0x10"},
+		{"NaN", "NaN"},
+		{"nan", "nan"},
+		{"Inf", "Inf"},
+		{"-Inf", "-Inf"},
+		{"1e999", "1e999"}, // overflows float64: not canonicalized
+	}
+	for _, c := range cases {
+		if got := CanonicalFloat(c.in); got != c.want {
+			t.Errorf("CanonicalFloat(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCanonicalFloatIdempotent checks that canonical forms are fixed points.
+func TestCanonicalFloatIdempotent(t *testing.T) {
+	for _, in := range []string{"0.50", "007", "1e3", "-0", "engine", "3.14159", "1e-323"} {
+		once := CanonicalFloat(in)
+		if twice := CanonicalFloat(once); twice != once {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+}
+
+// FuzzCanonicalFloat checks the two properties the memo key depends on:
+// canonicalization is idempotent, and a float-parsable input's canonical form
+// parses back to the identical float64 (so numerically equal spellings — and
+// only those — collide).
+func FuzzCanonicalFloat(f *testing.F) {
+	for _, seed := range []string{"0.5", "0.50", "5e-1", "007", "-0", "1e309", "NaN", "engine", "", " 2 ", "1e-323"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		once := CanonicalFloat(s)
+		if twice := CanonicalFloat(once); twice != once {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, once, twice)
+		}
+		fIn, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || math.IsNaN(fIn) || math.IsInf(fIn, 0) {
+			if once != s {
+				t.Fatalf("non-float %q was rewritten to %q", s, once)
+			}
+			return
+		}
+		fOut, err := strconv.ParseFloat(once, 64)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", once, s, err)
+		}
+		if fIn != fOut || math.Signbit(fIn) != math.Signbit(fOut) {
+			t.Fatalf("canonical form %q of %q re-parses to %v, not %v", once, s, fOut, fIn)
+		}
+	})
+}

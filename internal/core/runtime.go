@@ -113,6 +113,13 @@ type Config struct {
 	// inactive bricks and blocks. Requests override with the "index"
 	// parameter. Off by default so baseline measurements stay comparable.
 	UseIndex bool
+	// Memo turns cross-session result memoization on by default: identical
+	// requests (canonical key over command + result-shaping parameters) are
+	// served from a scheduler-side result cache, and identical concurrent
+	// requests coalesce onto one extraction whose stream is multicast to
+	// every subscriber. Requests override with the "memo" parameter. Off by
+	// default so every request keeps its independent-extraction semantics.
+	Memo bool
 	// CoalesceBytes turns streamed-partial frame coalescing on: a producer
 	// buffers encoded partial packets and ships them as one comm frame once
 	// the buffered wire bytes reach this threshold (or a flush boundary —
@@ -233,6 +240,12 @@ func NewRuntime(c vclock.Clock, cfg Config) *Runtime {
 	}
 	rt.DMS = dms.NewServer(c, cfg.DMS)
 	rt.Sched = newScheduler(rt)
+	// Source data dropped from the DMS invalidates every memoized result
+	// derived from it: a stale entry must never be served after its inputs
+	// change.
+	rt.DMS.OnInvalidate(func(dataset string, step int) {
+		rt.Sched.InvalidateMemo(dataset, step)
+	})
 	if cfg.FT.Standby < 0 {
 		cfg.FT.Standby = 0
 		rt.cfg.FT.Standby = 0

@@ -46,6 +46,14 @@ type RequestStats struct {
 	// and speculations — the measurable cost of recovery. A crash in journal
 	// mode recomputes at most the dead rank's unfinished blocks.
 	BlocksRecomputed int
+	// MemoHit marks a request served by the result memo without its own
+	// extraction: a replay of a cached result or an attachment to an
+	// in-flight identical request.
+	MemoHit bool
+	// Subscribers is the memo fan-out: on a producer record, how many
+	// requests its one extraction served; on a subscriber record, the
+	// entry's total subscriber count. Zero on the direct (non-memo) path.
+	Subscribers int
 }
 
 // TotalRuntime is the paper's "total runtime": dispatch to completion.
@@ -145,6 +153,10 @@ type Scheduler struct {
 	rejecting  bool // drain mode: in-flight requests finish, new ones bounce
 	draining   bool
 	stopped    bool
+
+	// memo is the cross-session result-memoization table (see memo.go); it
+	// is always present, but consulted only for memo-enabled requests.
+	memo *memoTable
 }
 
 type activeReq struct {
@@ -180,7 +192,7 @@ func (ar *activeReq) clientName() string {
 }
 
 func newScheduler(rt *Runtime) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		rt:            rt,
 		ep:            rt.Net.Endpoint("scheduler"),
 		tep:           rt.Net.Endpoint("sched.timer"),
@@ -195,6 +207,8 @@ func newScheduler(rt *Runtime) *Scheduler {
 		finished:      map[uint64]RequestStats{},
 		sessions:      map[string]int{},
 	}
+	s.memo = newMemoTable(rt)
+	return s
 }
 
 func (s *Scheduler) start() {
@@ -223,7 +237,7 @@ func (s *Scheduler) loop() {
 		}
 		switch m.Kind {
 		case "command":
-			if s.admit(m) {
+			if s.acceptCommand(m) {
 				s.pump()
 			}
 		case "disconnect":
@@ -279,12 +293,15 @@ func (s *Scheduler) loop() {
 		case "cancel":
 			// Flag the request; the workers observe it cooperatively. A
 			// cancel for an already-finished (or unknown) request is a
-			// harmless no-op.
+			// harmless no-op. A request being served by the memo path has no
+			// active record of its own — its subscriber is cancelled instead.
 			s.mu.Lock()
 			_, active := s.active[m.ReqID]
 			s.mu.Unlock()
 			if active {
 				s.rt.markCancelled(m.ReqID)
+			} else {
+				s.memo.cancelSub(m.ReqID)
 			}
 		case "drain":
 			// Graceful-shutdown admission gate: unlike "shutdown" (which also
@@ -332,8 +349,22 @@ func (s *Scheduler) pump() {
 // redispatches re-enter through redisQ and deliberately bypass admission —
 // an admitted request's retries must not be starved by newer arrivals.
 func (s *Scheduler) admit(m comm.Message) bool {
+	if !s.admitGate(m, sessionOf(m)) {
+		return false
+	}
+	s.mu.Lock()
+	s.pending.push(m)
+	s.mu.Unlock()
+	return true
+}
+
+// admitGate applies the admission checks and, on acceptance, charges the
+// session's quota slot — without queueing anything: admit and memoAdmit
+// decide what an accepted command turns into. A rejection is answered
+// immediately. Only the scheduler loop calls this, so the check-then-queue
+// split introduces no admission race.
+func (s *Scheduler) admitGate(m comm.Message, sess string) bool {
 	ol := s.rt.cfg.Overload
-	sess := sessionOf(m)
 	s.mu.Lock()
 	reason, flag, prefix := "", "overloaded", "core: overloaded: "
 	switch {
@@ -350,7 +381,6 @@ func (s *Scheduler) admit(m comm.Message) bool {
 	}
 	if reason == "" {
 		s.sessions[sess]++
-		s.pending.push(m)
 		s.mu.Unlock()
 		return true
 	}
@@ -443,6 +473,9 @@ func (s *Scheduler) dropSession(sess string) {
 	for _, id := range cancel {
 		s.rt.markCancelled(id)
 	}
+	// Memo subscribers of the session are cut off the same way; a shared
+	// producer is only cancelled when its last subscriber goes (subGone).
+	s.memo.dropSubsOf(sess)
 }
 
 // OverloadStats reports the admission-control counters.
@@ -1523,11 +1556,12 @@ func (s *Scheduler) Stats(reqID uint64) (RequestStats, bool) {
 }
 
 // InFlight reports the number of requests queued or running — the quantity a
-// graceful shutdown polls toward zero.
+// graceful shutdown polls toward zero. Memo subscribers whose streams are
+// still being delivered count: a drain must not cut off an attached viewer.
 func (s *Scheduler) InFlight() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pending.len() + len(s.active)
+	return s.pending.len() + len(s.active) + s.memo.liveSubs()
 }
 
 // Draining reports whether the admission gate is in drain mode.

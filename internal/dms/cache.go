@@ -356,3 +356,12 @@ func (t *Tiered) Clear() {
 		t.L2.Clear()
 	}
 }
+
+// Remove drops an item from both tiers (releasing its budget bytes) without
+// counting an eviction — the invalidation path, not the pressure path.
+func (t *Tiered) Remove(id ItemID) {
+	t.L1.Remove(id)
+	if t.L2 != nil {
+		t.L2.Remove(id)
+	}
+}

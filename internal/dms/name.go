@@ -8,6 +8,7 @@ package dms
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"viracocha/internal/grid"
@@ -74,6 +75,13 @@ func BSPItem(id grid.BlockID, field string) ItemName {
 	return ItemName{Source: id.String(), Type: "bsp:" + field, Format: "tree"}
 }
 
+// MemoItem is the ItemName of a memoized extraction result: the canonical
+// request key is the source, because the result derives from the whole
+// request, not from a single block.
+func MemoItem(key string) ItemName {
+	return ItemName{Source: key, Type: "memo", Format: "stream"}
+}
+
 // ItemID is the unambiguous identifier a NameServer assigns to an ItemName.
 // Proxies cache and exchange items by ID.
 type ItemID uint64
@@ -118,6 +126,22 @@ func (s *NameServer) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.ids)
+}
+
+// IDsMatching returns the IDs of every registered name accepted by match,
+// in ascending ID order. It powers invalidation sweeps: the name space is
+// the only complete inventory of what may be cached anywhere.
+func (s *NameServer) IDsMatching(match func(ItemName) bool) []ItemID {
+	s.mu.Lock()
+	var out []ItemID
+	for n, id := range s.ids {
+		if match(n) {
+			out = append(out, id)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Resolver is the proxy-side name resolver: it translates names to IDs and

@@ -1,0 +1,129 @@
+package viracocha
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// memoParams is the canonical streamed extraction of the memo facade tests;
+// the isovalue spelling varies per call to exercise key canonicalization
+// end to end.
+func memoParams(iso string) map[string]string {
+	return Params(
+		"dataset", "engine", "workers", "2", "iso", iso,
+		"ex", "-5", "ey", "0.5", "ez", "0.5", "granularity", "1",
+		"redistribute", "1",
+	)
+}
+
+// TestMemoFacade: Options.Memo through the public API — a repeated request
+// (under a different but numerically equal isovalue spelling) is a memo hit
+// with a byte-identical mesh, and the counters surface on the System.
+func TestMemoFacade(t *testing.T) {
+	sys := New(Options{Workers: 2, VirtualTime: true, Memo: true})
+	if _, err := sys.AddDataset("engine", 1); err != nil {
+		t.Fatal(err)
+	}
+	var res1, res2 *RunResult
+	var err1, err2 error
+	sys.Session(func(c *Client) {
+		res1, err1 = c.Run("iso.viewer", memoParams("500"))
+		res2, err2 = c.Run("iso.viewer", memoParams("500.0"))
+	})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs failed: %v, %v", err1, err2)
+	}
+	if !bytes.Equal(res1.Merged.EncodeBinary(), res2.Merged.EncodeBinary()) {
+		t.Fatal("memo replay mesh differs from the original")
+	}
+	ms := sys.MemoStats()
+	if ms.Misses != 1 || ms.Hits != 1 {
+		t.Fatalf("memo stats = %+v, want Misses=1 Hits=1 (\"500.0\" must collide with \"500\")", ms)
+	}
+	st2, ok := sys.Stats(res2.ReqID)
+	if !ok || !st2.MemoHit {
+		t.Fatalf("repeat stats = %+v (ok=%v), want MemoHit", st2, ok)
+	}
+	rep := sys.StatsReport()
+	if rep.Marker != StatsReportMarker {
+		t.Fatalf("report marker = %q", rep.Marker)
+	}
+	if rep.Memo.Hits != 1 || len(rep.Requests) == 0 {
+		t.Fatalf("report = %+v, want memo hit and request records", rep.Memo)
+	}
+}
+
+// TestMemoFacadeInvalidateStep: the public InvalidateStep sweeps memo entries
+// along with block-derived items, so a rewritten step is never served stale.
+func TestMemoFacadeInvalidateStep(t *testing.T) {
+	sys := New(Options{Workers: 2, VirtualTime: true, Memo: true})
+	if _, err := sys.AddDataset("engine", 1); err != nil {
+		t.Fatal(err)
+	}
+	var err1, err2 error
+	sys.Session(func(c *Client) {
+		_, err1 = c.Run("iso.viewer", memoParams("500"))
+		sys.InvalidateStep("engine", -1)
+		_, err2 = c.Run("iso.viewer", memoParams("500"))
+	})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs failed: %v, %v", err1, err2)
+	}
+	ms := sys.MemoStats()
+	if ms.Invalidations < 1 || ms.Misses != 2 || ms.Hits != 0 {
+		t.Fatalf("memo stats = %+v, want both runs to miss across the invalidation", ms)
+	}
+}
+
+// TestMemoDurableResume is the cross-subsystem acceptance test: a second
+// client's memo-served stream is severed mid-replay by a deterministic fault
+// rule, the client resumes its durable session (PR 6), and the replayed
+// remainder still assembles a mesh byte-identical to the memo-off reference.
+func TestMemoDurableResume(t *testing.T) {
+	ref := referenceMesh(t) // memo off, fault free: the canonical bytes
+
+	plan := (&FaultPlan{Seed: 17}).Disconnect("sess-2", 3)
+	sys, ln := serveSystem(t, Options{Workers: 2, Memo: true, Faults: plan}, "engine", 1)
+	defer ln.Close()
+
+	// First durable client warms the memo entry.
+	rcA, err := DialResume(ln.Addr().String(), 5, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcA.Close()
+	mA, err := rcA.Run("iso.viewer", streamParams(), nil)
+	if err != nil {
+		t.Fatalf("warming run failed: %v", err)
+	}
+	if !bytes.Equal(mA.EncodeBinary(), ref) {
+		t.Fatal("warming mesh differs from reference")
+	}
+
+	// Second durable client (sess-2) is served by memo replay; the discon
+	// rule kills its connection after 3 frames, and the resume handshake
+	// replays exactly the missed remainder.
+	rcB, err := DialResume(ln.Addr().String(), 5, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcB.Close()
+	mB, err := rcB.Run("iso.viewer", streamParams(), nil)
+	if err != nil {
+		t.Fatalf("memo-served resumed run failed: %v", err)
+	}
+	if !bytes.Equal(mB.EncodeBinary(), ref) {
+		t.Fatal("memo-served resumed mesh differs from the memo-off reference")
+	}
+	if rcB.SessionID() != "sess-2" {
+		t.Fatalf("session ID = %q, want sess-2 (the discon rule's target)", rcB.SessionID())
+	}
+	if rcB.Epoch() == 0 {
+		t.Fatal("epoch not bumped: the connection was never severed and resumed")
+	}
+	ms := sys.MemoStats()
+	if ms.Misses != 1 || ms.Hits < 1 {
+		t.Fatalf("memo stats = %+v, want one producing extraction and a hit", ms)
+	}
+}

@@ -53,6 +53,10 @@ type (
 	DrainingError = core.DrainingError
 	// BudgetStats is a snapshot of the DMS memory budget's accounting.
 	BudgetStats = dms.BudgetStats
+	// MemoStats aggregates the result-memoization counters (Options.Memo).
+	MemoStats = core.MemoStats
+	// OverloadCounters is the scheduler's admission-control activity record.
+	OverloadCounters = core.OverloadCounters
 	// FaultPlan is a seeded, deterministic fault-injection scenario.
 	FaultPlan = faults.Plan
 	// TraceEvent is one recorded fault-tolerance event.
@@ -119,6 +123,14 @@ type Options struct {
 	// frame is flushed regardless of size; <= 0 means no age bound.
 	// Requests override with the "coalesce_delay_ms" parameter.
 	CoalesceDelay time.Duration
+	// Memo turns cross-session result memoization on: identical requests
+	// (canonicalized, so "0.5" and "0.50" collide) are served from a
+	// content-addressed result cache, and concurrent identical requests
+	// coalesce onto one extraction whose stream is multicast to every
+	// subscriber. Off by default so every request keeps its
+	// independent-extraction semantics. Requests override per call with the
+	// "memo" parameter.
+	Memo bool
 	// FT overrides the fault-tolerance defaults (heartbeat interval,
 	// failure window, retry budget and backoff, block-granular recovery and
 	// straggler speculation); nil keeps DefaultFTConfig.
@@ -172,6 +184,7 @@ func New(opts Options) *System {
 		cfg.Cost = core.ZeroCostModel()
 	}
 	cfg.UseIndex = opts.UseIndex
+	cfg.Memo = opts.Memo
 	cfg.CoalesceBytes = opts.CoalesceBytes
 	cfg.CoalesceDelay = opts.CoalesceDelay
 	if opts.FT != nil {
@@ -340,6 +353,24 @@ func (s *System) DMSBudget() BudgetStats { return s.Runtime.DMS.Budget().Stats()
 
 // OverloadStats reports the scheduler's admission-control counters.
 func (s *System) OverloadStats() core.OverloadCounters { return s.Runtime.Sched.OverloadStats() }
+
+// MemoStats reports the result-memoization counters (all zero unless
+// Options.Memo or a request's "memo" parameter turned the path on).
+func (s *System) MemoStats() MemoStats { return s.Runtime.Sched.MemoStats() }
+
+// InvalidateStep drops every cached entity derived from the given time step
+// of the data set — demand blocks, derived indexes and memoized results alike
+// — so the next request re-reads and re-extracts. step < 0 invalidates every
+// step. Returns the number of named block-derived items swept. Use it when a
+// simulation rewrites a step in place (a restart file overwritten mid-run).
+func (s *System) InvalidateStep(dataset string, step int) int {
+	return s.Runtime.DMS.InvalidateStep(dataset, step)
+}
+
+// AllStats returns every finished request's server-side record, ordered by
+// request ID — client-facing records and internal memo-producer records
+// alike. Call it after the session (or a Drain) so the reports have drained.
+func (s *System) AllStats() []RequestStats { return s.Runtime.Sched.AllStats() }
 
 // Params builds a parameter map from alternating key/value strings:
 // Params("dataset", "engine", "iso", "500").
