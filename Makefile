@@ -16,7 +16,7 @@ test:
 # share through sync.Pool, the session-lease registry, and the root package's
 # durable TCP bridge with its reconnect/drain scenarios).
 race:
-	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/ ./internal/grid/ ./internal/iso/ ./internal/mesh/ ./internal/vortex/ ./internal/commands/ ./internal/session/ .
+	$(GO) test -race ./internal/core/ ./internal/comm/ ./internal/vclock/ ./internal/faults/ ./internal/dms/ ./internal/storage/ ./internal/grid/ ./internal/iso/ ./internal/mesh/ ./internal/vortex/ ./internal/commands/ ./internal/session/ ./internal/wal/ .
 
 # The seeded overload-resilience suite under the race detector: admission
 # control, session quotas, stream backpressure, slow-consumer culling, the
@@ -27,12 +27,16 @@ overload:
 # Randomized fault-scenario soak: SOAK_SEEDS crash timelines (varying
 # command, group size, victim rank and crash time) each checked for result
 # equivalence against its fault-free reference, plus the targeted recovery,
-# straggler and tagged-stream suites under the race detector.
+# straggler and tagged-stream suites under the race detector. RESTART_SEEDS
+# hard-kill-restart timelines (varying kill point and WAL fsync policy) each
+# verify the recovered stream stays byte-identical to a crash-free run.
 SOAK_SEEDS ?= 24
+RESTART_SEEDS ?= 8
 soak:
 	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 -v -run 'TestSoakRecovery' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestSpan|TestStraggler|TestDuplicateRedispatch|TestTagged|TestRedistributeOff|TestWatermark' ./internal/core/
 	SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 -v -run 'TestReconnectStorm' .
+	RESTART_SEEDS=$(RESTART_SEEDS) $(GO) test -race -count=1 -v -run 'TestRestartSoak' .
 
 # Self-healing membership soak under the race detector: CHURN_SEEDS seeded
 # churn timelines (mid-request crash with a planned reboot, optional flapper,
@@ -73,11 +77,13 @@ benchcmp:
 	@awk -f scripts/benchcmp.awk $(OLD) $(NEW)
 
 # Short fuzz pass over the message codec (incl. fault-plan-mutated frames
-# and coalesced batch frames) and the memo-key float canonicalizer.
+# and coalesced batch frames), the memo-key float canonicalizer, and the WAL
+# frame parser (torn/corrupt tails must truncate, never crash or mis-parse).
 fuzz:
 	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeMutated -fuzztime=10s
 	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzDecodeBatchMutated -fuzztime=10s
 	$(GO) test ./internal/comm/ -run=^$$ -fuzz=FuzzCanonicalFloat -fuzztime=10s
+	$(GO) test ./internal/wal/ -run=^$$ -fuzz=FuzzWALReplay -fuzztime=10s
 
 check: vet build test race churn bench-smoke
 

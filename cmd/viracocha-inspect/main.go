@@ -1,11 +1,14 @@
 // Command viracocha-inspect prints the contents of Viracocha files: block
 // files written by viracocha-gen (.vrb), mesh files written by
-// viracocha-client (-mesh), and JSON stats reports written by
-// viracocha-server (-stats).
+// viracocha-client (-mesh), JSON stats reports written by viracocha-server
+// (-stats), and control-plane WAL directories written by viracocha-server
+// (-wal) — pass the directory itself to get a record dump and integrity
+// verdict (checkpoint presence, record-kind histogram, torn-tail location).
 //
 //	viracocha-inspect data/engine/t000/b003.vrb
 //	viracocha-inspect -verbose result.mesh
 //	viracocha-inspect server-stats.json
+//	viracocha-inspect -verbose /var/lib/viracocha/wal
 package main
 
 import (
@@ -18,8 +21,10 @@ import (
 	"sort"
 
 	"viracocha"
+	"viracocha/internal/comm"
 	"viracocha/internal/mesh"
 	"viracocha/internal/storage"
+	"viracocha/internal/wal"
 )
 
 func main() {
@@ -37,6 +42,9 @@ func main() {
 }
 
 func inspect(path string, verbose bool) error {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return inspectWAL(path, verbose)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -87,6 +95,86 @@ func inspect(path string, verbose bool) error {
 		return nil
 	}
 	return fmt.Errorf("not a Viracocha block, mesh or stats-report file")
+}
+
+// inspectWAL dumps and verifies a control-plane WAL directory: checkpoint
+// presence and size, tail-record counts by kind, and — when the log ends in
+// half a record, as a crash mid-append leaves it — where the torn tail sits.
+// Recovery semantics match the server's exactly (same Recover call), so a
+// clean verdict here means a restart will accept the directory. Note that
+// Recover truncates a torn segment at the tear, like the server would.
+func inspectWAL(dir string, verbose bool) error {
+	rec, err := wal.Recover(dir)
+	if err != nil {
+		return err
+	}
+	if rec.Checkpoint == nil && len(rec.Records) == 0 && rec.Segments == 0 {
+		return fmt.Errorf("no WAL checkpoint or segments found")
+	}
+	fmt.Printf("%s: control-plane WAL\n", dir)
+	if rec.Checkpoint != nil {
+		fmt.Printf("  checkpoint %d bytes of compacted state\n", len(rec.Checkpoint))
+	} else {
+		fmt.Printf("  checkpoint none (recovery replays records only)\n")
+	}
+	fmt.Printf("  segments   %d scanned\n", rec.Segments)
+	kinds := map[string]int{}
+	bad := 0
+	for i, raw := range rec.Records {
+		m, err := comm.Decode(raw)
+		if err != nil {
+			bad++
+			if verbose {
+				fmt.Printf("  rec %-5d UNDECODABLE (%d bytes): %v\n", i, len(raw), err)
+			}
+			continue
+		}
+		kinds[m.Kind]++
+		if verbose {
+			fmt.Printf("  rec %-5d %-10s req=%d %s\n", i, m.Kind, m.ReqID, recordDetail(m))
+		}
+	}
+	fmt.Printf("  records    %d tail records", len(rec.Records))
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf(", %s×%d", k, kinds[k])
+	}
+	fmt.Println()
+	if bad > 0 {
+		fmt.Printf("  WARNING    %d framed records did not decode as messages\n", bad)
+	}
+	if rec.Torn {
+		fmt.Printf("  torn tail  %s at offset %d (truncated; records before it are intact)\n",
+			rec.TornPath, rec.TornOffset)
+	} else {
+		fmt.Printf("  integrity  clean (every frame passed its CRC)\n")
+	}
+	return nil
+}
+
+// recordDetail compresses a WAL record's interesting parameters to one line.
+func recordDetail(m comm.Message) string {
+	keys := make([]string, 0, len(m.Params))
+	for k := range m.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for _, k := range keys {
+		v := m.Params[k]
+		if len(v) > 32 {
+			v = v[:29] + "..."
+		}
+		fmt.Fprintf(&b, "%s=%s ", k, v)
+	}
+	if len(m.Payload) > 0 {
+		fmt.Fprintf(&b, "payload=%dB", len(m.Payload))
+	}
+	return b.String()
 }
 
 // decodeStatsReport recognizes a server stats report: a JSON object whose

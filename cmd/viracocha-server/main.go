@@ -19,7 +19,38 @@ import (
 
 	"viracocha"
 	"viracocha/internal/dataset"
+	"viracocha/internal/wal"
 )
+
+// restoreSnapshot loads a session snapshot if one exists at path. A corrupt
+// or truncated snapshot is logged and skipped — the server starts fresh
+// rather than refusing to boot over an artifact of its own earlier crash.
+// Only a real I/O error (permissions, a directory at the path) is returned.
+func restoreSnapshot(sys *viracocha.System, path string, logf func(format string, args ...any)) (bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := sys.RestoreSessions(data); err != nil {
+		logf("session snapshot %s unusable, starting fresh: %v", path, err)
+		return false, nil
+	}
+	return true, nil
+}
+
+// writeSnapshot cuts and writes the session snapshot atomically (same-dir
+// temp file + fsync + rename), so a crash mid-write leaves the previous
+// snapshot intact instead of a torn file the next boot would trip over.
+func writeSnapshot(sys *viracocha.System, path string) error {
+	data, err := sys.SnapshotSessions()
+	if err != nil {
+		return err
+	}
+	return wal.WriteFileAtomic(path, data, 0o644)
+}
 
 // faultList collects repeatable -fault flags.
 type faultList []string
@@ -59,6 +90,8 @@ func main() {
 		lease     = flag.Duration("lease", 30*time.Second, "durable-session lease: how long a disconnected client's session (and its in-flight streams) survives awaiting resume")
 		drainTmo  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long in-flight requests get to finish after SIGTERM (or a remote drain) before exiting anyway")
 		snapshot  = flag.String("snapshot", "", "session snapshot file: restored on start when present, written on graceful shutdown so a restarted server honors client resumes")
+		walDir    = flag.String("wal", "", "control-plane write-ahead log directory: admissions, leases, streamed frames and journal progress are logged continuously, so even a hard-killed (SIGKILL, power-cut) server restarts with exact client resume; supersedes -snapshot")
+		fsyncPol  = flag.String("fsync", "always", "WAL fsync policy: always (every acknowledged record durable), interval (bounded loss window), off (the OS decides)")
 		faultSpec faultList
 	)
 	flag.Var(&faultSpec, "fault", "inject a fault rule (repeatable): crash:NODE@DUR, recover:NODE@DUR, flap:NODE:PERIOD, drop:FROM>TO:KIND:PROB, dup:..., delay:FROM>TO:KIND:DUR, read:DATASET:STEP:BLOCK:N, corrupt:DATASET:STEP:BLOCK:N, slow:ENDPOINT@DUR, lag:NODE:FACTOR, discon:SESSION:AFTER_MSGS, hang:SESSION")
@@ -75,6 +108,8 @@ func main() {
 		CoalesceDelay:    *coalDelay,
 		SessionLease:     *lease,
 		DrainTimeout:     *drainTmo,
+		WALDir:           *walDir,
+		WALFsync:         *fsyncPol,
 	}
 	if *heartbeat > 0 || *failAfter > 0 || *retries >= 0 || *redistrib || *stragglerF > 0 ||
 		*rejoin || *standby > 0 || *quarantine > 0 {
@@ -133,15 +168,21 @@ func main() {
 		fmt.Printf("hosting data set %q (scale %d)\n", name, *scale)
 	}
 
-	if *snapshot != "" {
-		if data, err := os.ReadFile(*snapshot); err == nil {
-			if err := sys.RestoreSessions(data); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("restored %d durable sessions from %s\n", sys.SessionCount(), *snapshot)
-		} else if !os.IsNotExist(err) {
+	if *snapshot != "" && *walDir == "" {
+		restored, err := restoreSnapshot(sys, *snapshot, log.Printf)
+		if err != nil {
 			log.Fatal(err)
 		}
+		if restored {
+			fmt.Printf("restored %d durable sessions from %s\n", sys.SessionCount(), *snapshot)
+		}
+	}
+	if *walDir != "" {
+		if err := sys.RecoverWAL(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("control-plane WAL recovered from %s (%d durable sessions, fsync %s)\n",
+			*walDir, sys.SessionCount(), *fsyncPol)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -168,14 +209,15 @@ func main() {
 			}
 		}
 		if *snapshot != "" {
-			data, err := sys.SnapshotSessions()
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := os.WriteFile(*snapshot, data, 0o644); err != nil {
+			if err := writeSnapshot(sys, *snapshot); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("session snapshot written to %s (%d sessions)\n", *snapshot, sys.SessionCount())
+		}
+		if *walDir != "" {
+			if err := sys.CloseWAL(); err != nil {
+				fmt.Println(err)
+			}
 		}
 		sys.DisconnectClients()
 		ln.Close()

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viracocha"
+)
+
+// TestWriteSnapshotAtomic verifies the snapshot lands via rename: the target
+// holds a complete snapshot and no temp files are left behind.
+func TestWriteSnapshotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sessions.json")
+	sys := viracocha.New(viracocha.Options{Workers: 1})
+	if err := writeSnapshot(sys, path); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	fresh := viracocha.New(viracocha.Options{Workers: 1})
+	if err := fresh.RestoreSessions(data); err != nil {
+		t.Fatalf("written snapshot does not restore: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestRestoreSnapshotCorrupt verifies a corrupt snapshot is tolerated: the
+// failure is logged and the server starts fresh instead of dying.
+func TestRestoreSnapshotCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys := viracocha.New(viracocha.Options{Workers: 1})
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	restored, err := restoreSnapshot(sys, path, logf)
+	if err != nil {
+		t.Fatalf("corrupt snapshot should be tolerated, got error: %v", err)
+	}
+	if restored {
+		t.Fatal("corrupt snapshot reported as restored")
+	}
+	if len(logged) == 0 || !strings.Contains(logged[0], "starting fresh") {
+		t.Fatalf("corruption not logged: %v", logged)
+	}
+	if n := sys.SessionCount(); n != 0 {
+		t.Fatalf("fresh start expected, got %d sessions", n)
+	}
+}
+
+// TestRestoreSnapshotTruncated verifies a half-written (truncated) snapshot is
+// tolerated the same way.
+func TestRestoreSnapshotTruncated(t *testing.T) {
+	good := viracocha.New(viracocha.Options{Workers: 1})
+	data, err := good.SnapshotSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sessions.json")
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys := viracocha.New(viracocha.Options{Workers: 1})
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	restored, err := restoreSnapshot(sys, path, logf)
+	if err != nil {
+		t.Fatalf("truncated snapshot should be tolerated, got error: %v", err)
+	}
+	if restored {
+		t.Fatal("truncated snapshot reported as restored")
+	}
+	if len(logged) == 0 {
+		t.Fatal("truncation not logged")
+	}
+}
+
+// TestRestoreSnapshotMissing verifies a missing snapshot is a clean first
+// boot, not an error.
+func TestRestoreSnapshotMissing(t *testing.T) {
+	sys := viracocha.New(viracocha.Options{Workers: 1})
+	restored, err := restoreSnapshot(sys, filepath.Join(t.TempDir(), "nope.json"), func(string, ...any) {
+		t.Fatal("nothing should be logged for a missing snapshot")
+	})
+	if err != nil || restored {
+		t.Fatalf("missing snapshot: restored=%v err=%v", restored, err)
+	}
+}

@@ -157,6 +157,7 @@ func (b *sessionBridge) deliver(m comm.Message) {
 	out.Params["sseq"] = strconv.Itoa(lr.sseq)
 	if sess.durable {
 		lr.frames = append(lr.frames, out)
+		b.sys.wal.Frame(sess.id, lr.clientReq, out)
 	}
 	isPartial := out.Kind == "partial"
 	rank := out.IntParam("rank", 0)
@@ -264,6 +265,9 @@ func (b *sessionBridge) purge(sess *liveSession) {
 		}
 	}
 	b.mu.Unlock()
+	if sess.durable {
+		b.sys.wal.LeaseDrop(sess.id)
+	}
 	b.reg.Drop(sess.id)
 	b.ep.Send("scheduler", comm.Message{
 		Kind:   "disconnect",
@@ -411,6 +415,7 @@ func (b *sessionBridge) attach(conn *comm.Conn, hello comm.Message) (*liveSessio
 		b.mu.Lock()
 		b.sessions[sess.id] = sess
 		b.mu.Unlock()
+		b.sys.wal.LeaseIssue(lease.ID, lease.Epoch, sess.admission)
 	} else {
 		var err error
 		lease, err = b.reg.Resume(id, hello.IntParam("epoch", 0))
@@ -436,6 +441,7 @@ func (b *sessionBridge) attach(conn *comm.Conn, hello comm.Message) (*liveSessio
 		}
 		sess.epoch = lease.Epoch
 		b.mu.Unlock()
+		b.sys.wal.LeaseResume(id, lease.Epoch)
 		resumed = true
 	}
 	reply := comm.Message{Kind: "lease", Params: map[string]string{
@@ -526,6 +532,9 @@ func (b *sessionBridge) handleFrame(sess *liveSession, conn *comm.Conn, m comm.M
 		}
 		sess.reqs[m.ReqID] = lr
 		b.routes[rid] = lr
+		if sess.durable {
+			b.sys.wal.Admit(sess.id, m.ReqID, rid, m)
+		}
 		b.mu.Unlock()
 		fwd := m
 		fwd.ReqID = rid
@@ -584,6 +593,9 @@ func (b *sessionBridge) handleFrame(sess *liveSession, conn *comm.Conn, m comm.M
 			delete(sess.reqs, m.ReqID)
 			if lr.runtimeID != 0 {
 				delete(b.routes, lr.runtimeID)
+			}
+			if sess.durable {
+				b.sys.wal.Retire(sess.id, m.ReqID)
 			}
 		}
 		b.mu.Unlock()

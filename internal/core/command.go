@@ -649,6 +649,10 @@ func (c *Ctx) BlockDone(item int) {
 			"rank":    strconv.Itoa(c.Rank),
 			"attempt": strconv.Itoa(c.attempt),
 			"item":    strconv.Itoa(item),
+			// bframes is the block's tagged-packet count: crash recovery
+			// replays a marked block from retained frames only when all of
+			// them survived in the WAL, else it recomputes the block.
+			"bframes": strconv.Itoa(c.blockSeq[item]),
 		},
 	}
 	if err := c.ep.Send("scheduler", msg); err != nil {

@@ -460,8 +460,10 @@ func (s *Scheduler) memoProducerDone(e *memoEntry) {
 	log := e.log
 	e.mu.Unlock()
 	stored, bytes := false, int64(0)
+	var clean []comm.Message
 	if store {
-		clean, size := canonicalMemoLog(log)
+		var size int64
+		clean, size = canonicalMemoLog(log)
 		ent := &memoEntity{key: e.key, log: clean, size: size, dep: e.dep}
 		id := mt.rt.DMS.Names.Resolve(dms.MemoItem(e.key))
 		if _, ok := mt.cache.PutOK(id, ent, false); ok {
@@ -471,6 +473,9 @@ func (s *Scheduler) memoProducerDone(e *memoEntry) {
 	}
 	mt.mu.Unlock()
 	if stored {
+		if w := s.walSink(); w != nil {
+			w.MemoStore(e.key, e.dep.dataset, e.dep.step, clean)
+		}
 		s.rt.Trace.Eventf(s.rt.Clock.Now(), "memo",
 			"req %d: stored result %s (%d bytes, %d subscribers)", e.prodID, e.key, bytes, subs)
 	} else {
@@ -775,6 +780,12 @@ func (s *Scheduler) MemoStats() MemoStats {
 // step < 0 matches all steps. Returns the number of entries invalidated.
 func (s *Scheduler) InvalidateMemo(dataset string, step int) int {
 	n := s.memo.invalidate(dataset, step)
+	if w := s.walSink(); w != nil {
+		// Logged even when the live table matched nothing: the WAL mirror
+		// may still hold an entry the budget evicted here, and dropping it
+		// there too costs at most a recompute.
+		w.MemoInvalidate(dataset, step)
+	}
 	if n > 0 {
 		s.rt.Trace.Eventf(s.rt.Clock.Now(), "memo",
 			"invalidated %d entries for %s step %d", n, dataset, step)

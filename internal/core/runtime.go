@@ -144,6 +144,10 @@ type Config struct {
 	// Faults optionally injects failures into the fabric, the workers and
 	// the storage read path (nil = fault-free system).
 	Faults *faults.Injector
+	// WAL optionally receives control-plane durability events (dispatches,
+	// journal spans and marks, memo stores and invalidations) for the
+	// write-ahead log; nil disables control-plane logging.
+	WAL WALSink
 }
 
 // DefaultConfig returns a runtime configuration resembling the paper's

@@ -144,6 +144,10 @@ type Scheduler struct {
 	cordonPending map[string]bool
 	pending    msgRing
 	active     map[uint64]*activeReq
+	// recovered annotates re-admitted requests (crash recovery) with their
+	// restored attempt and, when the journal survived, the span of items
+	// still owed to the client; consumed at dispatch.
+	recovered  map[uint64]*recoveredPlan
 	finished   map[uint64]RequestStats
 	redisQ     []redispatch
 	sessions   map[string]int // in-flight (queued + active) requests per session
@@ -584,10 +588,30 @@ func (s *Scheduler) dispatchLocked(sends *[]outMsg) {
 			s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
 				"req %d degraded: %d workers requested, %d alive", req.ReqID, ar.origWant, want)
 		}
+		plan := s.recovered[req.ReqID]
+		if plan != nil {
+			// A crash-recovered request resumes under its restored attempt
+			// (the client's dedupe is attempt-fenced) and, when the journal
+			// survived, recomputes exactly the items not yet streamed.
+			delete(s.recovered, req.ReqID)
+			ar.attempt = plan.attempt
+			if plan.hasSpan {
+				ar.stats.BlocksRecomputed = len(plan.span)
+				s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
+					"req %d recovered: attempt %d, re-dispatching %d unfinished blocks", req.ReqID, ar.attempt, len(plan.span))
+			}
+		}
+		if w := s.walSink(); w != nil {
+			w.Dispatch(req.ReqID, ar.attempt, want)
+		}
 		for rank, node := range members {
 			s.state[node] = wsBusy
 			s.busy[node] = busyRef{reqID: req.ReqID, rank: rank}
-			*sends = append(*sends, outMsg{to: node, msg: s.startMsgLocked(ar, rank)})
+			start := s.startMsgLocked(ar, rank)
+			if plan != nil && plan.hasSpan {
+				start = s.startSpanMsgLocked(ar, rank, recoverSpanFor(plan.span, rank, want), false)
+			}
+			*sends = append(*sends, outMsg{to: node, msg: start})
 		}
 	}
 }
@@ -979,7 +1003,12 @@ func (s *Scheduler) noteSpan(m comm.Message) {
 	if ar.journal == nil {
 		ar.journal = newBlockJournal()
 	}
-	ar.journal.noteSpan(rank, comm.ParseIntList(m.Params["span"]), m.Params["streamed"] == "1")
+	items := comm.ParseIntList(m.Params["span"])
+	streamed := m.Params["streamed"] == "1"
+	ar.journal.noteSpan(rank, items, streamed)
+	if w := s.walSink(); w != nil {
+		w.JournalSpan(m.ReqID, ar.attempt, rank, items, streamed)
+	}
 }
 
 // noteMark records one completed span item (the eager per-block watermark).
@@ -997,7 +1026,14 @@ func (s *Scheduler) noteMark(m comm.Message) {
 	if rank < 0 || rank >= len(ar.done) {
 		return
 	}
-	ar.journal.markDone(rank, m.IntParam("item", -1))
+	item := m.IntParam("item", -1)
+	ar.journal.markDone(rank, item)
+	if w := s.walSink(); w != nil {
+		// bframes rides on the eager wmark only; heartbeat-piggybacked
+		// marks stay out of the WAL (a lost wmark merely makes recovery
+		// recompute the block, which the client dedupes).
+		w.JournalMark(m.ReqID, ar.attempt, rank, item, m.IntParam("bframes", -1))
+	}
 }
 
 // noteHeartbeat refreshes the liveness record of the sending worker. A
@@ -1495,6 +1531,9 @@ func (s *Scheduler) drainRedispatchLocked(sends *[]outMsg) {
 		s.rt.dropWorkQueue(rd.reqID) // the new attempt re-claims dynamic work from scratch
 		s.rt.Trace.Eventf(s.rt.Clock.Now(), "scheduler",
 			"req %d restarted as attempt %d with %d workers", rd.reqID, rd.attempt, want)
+		if w := s.walSink(); w != nil {
+			w.Dispatch(rd.reqID, rd.attempt, want)
+		}
 		for rank, node := range members {
 			s.state[node] = wsBusy
 			s.busy[node] = busyRef{reqID: rd.reqID, rank: rank}

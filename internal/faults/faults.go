@@ -13,6 +13,7 @@ package faults
 
 import (
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -59,6 +60,15 @@ type DisconRule struct {
 	After int
 }
 
+// TornRule tears one write-ahead-log append mid-record: the Nth append
+// (1-based, counted per matched file) to a segment whose path or base name
+// matches Path writes only a partial frame and then fails as a power loss
+// would. Each rule fires once.
+type TornRule struct {
+	Path string
+	N    int
+}
+
 // Plan is a complete, seeded fault scenario.
 type Plan struct {
 	// Seed drives all probabilistic decisions; the same seed replays the
@@ -100,6 +110,13 @@ type Plan struct {
 	// crashes after every PERIOD of uptime and reboots PERIOD later, over and
 	// over — the host the quarantine machinery exists for.
 	Flaps map[string]time.Duration
+	// Torns tear WAL appends mid-record; the first un-burned matching rule
+	// whose append count is reached fires (the wal package consults
+	// OnWALAppend before each write).
+	Torns []TornRule
+	// FsyncFails are WAL file paths (or base names, or Any) whose next
+	// fsync fails with an injected error; each entry burns after one use.
+	FsyncFails []string
 }
 
 // CrashAt registers a worker crash and returns the plan for chaining.
@@ -172,6 +189,21 @@ func (p *Plan) Hang(name string) *Plan {
 	return p
 }
 
+// TearAppend registers a torn WAL append — the nth append (1-based) to a
+// segment file matching path is cut mid-record — and returns the plan for
+// chaining.
+func (p *Plan) TearAppend(path string, n int) *Plan {
+	p.Torns = append(p.Torns, TornRule{Path: path, N: n})
+	return p
+}
+
+// FailFsync registers a one-shot fsync failure for WAL files matching path
+// (or Any) and returns the plan for chaining.
+func (p *Plan) FailFsync(path string) *Plan {
+	p.FsyncFails = append(p.FsyncFails, path)
+	return p
+}
+
 // ParseRule adds one textual fault rule to the plan (the -fault flag of
 // cmd/viracocha-server). Formats:
 //
@@ -187,8 +219,10 @@ func (p *Plan) Hang(name string) *Plan {
 //	hang:NODE                NODE's peer accepts but never drains ("hang:sess-1")
 //	recover:NODE@DUR         reboot a crashed NODE at clock time DUR ("recover:w1@5s")
 //	flap:NODE:PERIOD         crash/rejoin NODE every PERIOD ("flap:w1:500ms")
+//	torn:PATH:N              tear the Nth WAL append to PATH mid-record ("torn:*:5")
+//	fsyncfail:PATH           fail PATH's next WAL fsync once ("fsyncfail:*")
 //
-// FROM, TO, KIND, DATASET, ENDPOINT and NODE accept "*" as a wildcard.
+// FROM, TO, KIND, DATASET, ENDPOINT, NODE and PATH accept "*" as a wildcard.
 func (p *Plan) ParseRule(spec string) error {
 	kind, rest, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -317,6 +351,24 @@ func (p *Plan) ParseRule(spec string) error {
 			return fmt.Errorf("faults: rule %q: period must be positive", spec)
 		}
 		p.Flap(node, d)
+	case "torn":
+		// PATH may itself contain colons, so the count is split off the
+		// right-hand end.
+		i := strings.LastIndex(rest, ":")
+		if i <= 0 {
+			return fmt.Errorf("faults: rule %q: torn must be torn:PATH:N", spec)
+		}
+		path, nstr := rest[:i], rest[i+1:]
+		n, err := strconv.Atoi(nstr)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faults: rule %q: bad append count %q (want >= 1)", spec, nstr)
+		}
+		p.TearAppend(path, n)
+	case "fsyncfail":
+		if rest == "" {
+			return fmt.Errorf("faults: rule %q: fsyncfail must be fsyncfail:PATH", spec)
+		}
+		p.FailFsync(rest)
 	default:
 		return fmt.Errorf("faults: rule %q: unknown kind %q", spec, kind)
 	}
@@ -334,6 +386,9 @@ type Injector struct {
 	corruptHit []int             // per-corrupt-rule consumed budget
 	connFrames map[string]int    // per-connection delivered-frame counter
 	disconUsed []bool            // per-discon-rule one-shot burn
+	walSeq     []int             // per-torn-rule matched-append counter
+	tornUsed   []bool            // per-torn-rule one-shot burn
+	fsyncUsed  []bool            // per-fsyncfail-rule one-shot burn
 }
 
 // New compiles a plan. A nil plan yields a nil injector, which callers treat
@@ -349,6 +404,9 @@ func New(p *Plan) *Injector {
 		corruptHit: make([]int, len(p.Corrupts)),
 		connFrames: map[string]int{},
 		disconUsed: make([]bool, len(p.Disconnects)),
+		walSeq:     make([]int, len(p.Torns)),
+		tornUsed:   make([]bool, len(p.Torns)),
+		fsyncUsed:  make([]bool, len(p.FsyncFails)),
 	}
 }
 
@@ -512,6 +570,54 @@ func (in *Injector) OnConnFrame(name string) bool {
 		}
 	}
 	return false
+}
+
+// matchPath matches a rule path against a file path: exact, wildcard, or
+// base-name match, so rules can name "wal-00000001.log" without knowing the
+// WAL directory.
+func matchPath(pat, path string) bool {
+	return matchStr(pat, path) || pat == filepath.Base(path)
+}
+
+// OnWALAppend is the wal package's torn-write hook: it advances each matching
+// torn rule's append counter and reports whether one fires here, in which
+// case the append is cut mid-record and the log fails as a power loss would.
+func (in *Injector) OnWALAppend(path string) bool {
+	if in == nil || len(in.plan.Torns) == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	fire := false
+	for i, r := range in.plan.Torns {
+		if !matchPath(r.Path, path) {
+			continue
+		}
+		in.walSeq[i]++
+		if !in.tornUsed[i] && in.walSeq[i] >= r.N {
+			in.tornUsed[i] = true
+			fire = true
+		}
+	}
+	return fire
+}
+
+// OnWALSync is the wal package's fsync hook: the first un-burned matching
+// fsyncfail rule fails this flush with an injected error.
+func (in *Injector) OnWALSync(path string) error {
+	if in == nil || len(in.plan.FsyncFails) == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, pat := range in.plan.FsyncFails {
+		if in.fsyncUsed[i] || !matchPath(pat, path) {
+			continue
+		}
+		in.fsyncUsed[i] = true
+		return fmt.Errorf("faults: injected fsync failure for %s", filepath.Base(path))
+	}
+	return nil
 }
 
 // Hanged reports whether the connection named name is planned as an

@@ -151,6 +151,20 @@ type Options struct {
 	// long in-flight requests get to finish before the drain gives up; zero
 	// means a 10s default.
 	DrainTimeout time.Duration
+	// WALDir enables the control-plane write-ahead log in the given
+	// directory: durable-session admissions, leases, retained frames,
+	// dispatch journals and memo entries are logged so a hard-killed server
+	// restarts via RecoverWAL with byte-identical client resume. Empty
+	// disables the log.
+	WALDir string
+	// WALFsync selects the log's fsync policy: "always" (default, no
+	// acknowledged record ever lost), "interval" (bounded loss window) or
+	// "off" (the OS decides).
+	WALFsync string
+	// WALSegmentBytes overrides the log's segment-rotation size, which is
+	// also the compaction cadence (a checkpoint is cut about once per
+	// segment). Zero means the 4 MiB default.
+	WALSegmentBytes int64
 }
 
 // System is one Viracocha instance: scheduler, workers, DMS and data sets.
@@ -160,6 +174,7 @@ type System struct {
 
 	opts    Options
 	started bool
+	wal     *walSink // control-plane write-ahead log (nil without WALDir)
 
 	bmu sync.Mutex
 	br  *sessionBridge // durable TCP session bridge (lazily built)
@@ -195,9 +210,19 @@ func New(opts Options) *System {
 		cfg.DMS.MemBudget = opts.Overload.MemBudget
 	}
 	cfg.Faults = faults.New(opts.Faults)
+	var sink *walSink
+	if opts.WALDir != "" {
+		sink = newWALSink(opts.WALDir, opts.WALSegmentBytes)
+		cfg.WAL = sink
+	}
 	rt := core.NewRuntime(clk, cfg)
 	commands.RegisterAll(rt)
-	return &System{Clock: clk, Runtime: rt, opts: opts}
+	if sink != nil {
+		sink.warn = func(format string, args ...any) {
+			rt.Trace.Eventf(rt.Clock.Now(), "wal", format, args...)
+		}
+	}
+	return &System{Clock: clk, Runtime: rt, opts: opts, wal: sink}
 }
 
 // AddDataset registers one of the built-in synthetic data sets ("engine",

@@ -1,0 +1,958 @@
+package viracocha
+
+// Control-plane crash durability, root side. The walSink below is the glue
+// between the runtime's event streams and internal/wal: every durable-session
+// admission, lease transition, retained outbound frame, dispatch, journal
+// span/mark and memo store is (a) applied to an in-memory mirror of the
+// recoverable state and (b) appended to the write-ahead log — in that order,
+// under one sink lock, so the mirror is at all times exactly what a replay of
+// the log would rebuild. Checkpointing then never has to chase the scheduler
+// or the bridge across their own locks: it serializes the mirror and lets
+// internal/wal prune the segments the checkpoint folds in.
+//
+// Lock order: bridge.mu or scheduler.mu may be held when a sink method is
+// called, and the sink only takes its own mu — never the other direction.
+//
+// Mirror mutations are idempotent and monotonic (frames are filtered by
+// sseq, epochs and attempts only move forward, marks are unioned) because a
+// crash between the checkpoint rename and the segment prune makes recovery
+// replay pre-checkpoint records on top of the checkpointed state.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"viracocha/internal/comm"
+	"viracocha/internal/session"
+	"viracocha/internal/wal"
+)
+
+// walState is the recoverable control-plane state: what a restarted server
+// needs to honor resume handshakes and finish interrupted work. It is both
+// the live mirror and the checkpoint's JSON schema.
+type walState struct {
+	// Counter continues the lease registry's ID sequence across restarts.
+	Counter uint64 `json:"counter"`
+	// Leases maps lease ID → highest issued epoch.
+	Leases map[string]int `json:"leases"`
+	// Sessions maps lease ID → durable session state.
+	Sessions map[string]*walSession `json:"sessions"`
+	// Memo maps memo key → stored result entry.
+	Memo map[string]*walMemo `json:"memo"`
+}
+
+type walSession struct {
+	Epoch     int                `json:"epoch"`
+	Admission string             `json:"admission"`
+	Reqs      map[uint64]*walReq `json:"reqs"` // client request ID → request
+}
+
+type walReq struct {
+	ClientReq uint64 `json:"client_req"`
+	// RuntimeID is the scheduler-side request ID of the current incarnation;
+	// recovery rebinds it before the first post-restart checkpoint.
+	RuntimeID uint64 `json:"runtime_id"`
+	// Cmd is the wire-encoded original client command, replayed verbatim
+	// (plus routing params) when recovery re-admits the request.
+	Cmd  []byte `json:"cmd"`
+	Sseq int    `json:"sseq"`
+	// Final means the terminal frame was produced: nothing to re-admit, the
+	// retained frames alone can serve any resume.
+	Final  bool     `json:"final"`
+	Frames [][]byte `json:"frames"` // wire-encoded stamped outbound frames
+	// Attempt/Want/Spans/Done piggyback the scheduler's dispatch and block
+	// journal so recovery can re-dispatch only the not-yet-streamed items.
+	Attempt int              `json:"attempt"`
+	Want    int              `json:"want"`
+	Spans   map[int]*walSpan `json:"spans,omitempty"` // rank → declared span
+	Done    map[int]int      `json:"done,omitempty"`  // item → bframes streamed
+}
+
+type walSpan struct {
+	Items    []int `json:"items"`
+	Streamed bool  `json:"streamed"`
+}
+
+type walMemo struct {
+	Dataset string `json:"dataset"`
+	Step    int    `json:"step"`
+	Log     []byte `json:"log"` // comm.EncodeBatch of the canonical replay log
+}
+
+// walSseqGap is added to every restored request's stream sequence. Under a
+// lossy fsync policy the client's acknowledged watermark can run ahead of the
+// recovered sseq (the frames it acked were never flushed); stamping
+// post-restart frames below that watermark would make a replay filter drop
+// them. The gap puts every new frame provably past any pre-crash mark, and
+// nothing anywhere relies on sseq being dense — only monotonic.
+const walSseqGap = 1 << 20
+
+func newWALState() *walState {
+	return &walState{
+		Leases:   map[string]int{},
+		Sessions: map[string]*walSession{},
+		Memo:     map[string]*walMemo{},
+	}
+}
+
+func (st *walState) sessionFor(id string) *walSession {
+	s := st.Sessions[id]
+	if s == nil {
+		s = &walSession{Reqs: map[uint64]*walReq{}}
+		st.Sessions[id] = s
+	}
+	return s
+}
+
+// walSink implements core.WALSink plus the bridge-side hooks. All methods are
+// safe on a nil receiver (a WAL-less system) and after kill() (a dead one).
+type walSink struct {
+	dir      string
+	segBytes int64
+	warn     func(format string, args ...any) // trace adapter, may be nil
+
+	mu        sync.Mutex
+	log       *wal.Log // nil until RecoverWAL opens the directory
+	state     *walState
+	byRuntime map[uint64]*walReq // scheduler request ID → mirror entry
+	bytes     int64              // appended since the last checkpoint
+	every     int64              // checkpoint threshold
+	closed    bool
+	err       error // first append/checkpoint failure; logging is best-effort after
+}
+
+func newWALSink(dir string, segBytes int64) *walSink {
+	every := segBytes
+	if every <= 0 {
+		every = 4 << 20
+	}
+	return &walSink{
+		dir:       dir,
+		segBytes:  segBytes,
+		state:     newWALState(),
+		byRuntime: map[uint64]*walReq{},
+		every:     every,
+	}
+}
+
+func (w *walSink) warnf(format string, args ...any) {
+	if w.warn != nil {
+		w.warn(format, args...)
+	}
+}
+
+// record applies one record to the mirror and appends it to the log.
+func (w *walSink) record(m comm.Message) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.applyLocked(m)
+	w.appendLocked(m)
+}
+
+func (w *walSink) appendLocked(m comm.Message) {
+	if w.log == nil || w.closed {
+		return
+	}
+	data := comm.Encode(m)
+	if err := w.log.Append(data); err != nil {
+		w.noteErrLocked("append", err)
+		return
+	}
+	switch m.Kind {
+	case "wlease", "wadmit":
+		// Admission barrier: leases and admissions are rare and load-bearing
+		// — losing one denies the client's resume outright — so they are
+		// synced regardless of policy. Frames and journal marks, which
+		// recovery can afford to lose (the blocks are just recomputed and
+		// the client dedupes), ride the policy's loss window.
+		if err := w.log.Sync(); err != nil {
+			w.noteErrLocked("sync", err)
+		}
+	}
+	w.bytes += int64(len(data)) + 8
+	if w.bytes >= w.every {
+		if err := w.checkpointLocked(); err != nil {
+			w.noteErrLocked("checkpoint", err)
+		}
+	}
+}
+
+// checkpointLocked compacts the mirror into the checkpoint file and lets the
+// log prune every folded-in segment.
+func (w *walSink) checkpointLocked() error {
+	if w.log == nil || w.closed {
+		return nil
+	}
+	data, err := json.Marshal(w.state)
+	if err != nil {
+		return err
+	}
+	if err := w.log.Checkpoint(data); err != nil {
+		return err
+	}
+	w.bytes = 0
+	return nil
+}
+
+func (w *walSink) noteErrLocked(op string, err error) {
+	if w.closed {
+		return // post-kill stragglers are expected, not failures
+	}
+	if w.err == nil {
+		w.err = err
+	}
+	w.warnf("wal %s failed: %v", op, err)
+}
+
+// kill closes the log file handles without a final flush: the hard-kill path.
+func (w *walSink) kill() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.closed = true
+	l := w.log
+	w.mu.Unlock()
+	if l != nil {
+		l.Kill()
+	}
+}
+
+// close checkpoints once more and closes the log: the graceful path, leaving
+// a restart nothing to replay.
+func (w *walSink) close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	err := w.checkpointLocked()
+	w.closed = true
+	l := w.log
+	w.mu.Unlock()
+	if l != nil {
+		if cerr := l.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ---- bridge-side hooks (called with bridge.mu held or not — sink.mu only) ----
+
+// LeaseIssue records a fresh durable session lease and its admission name.
+func (w *walSink) LeaseIssue(id string, epoch int, admission string) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wlease", Params: map[string]string{
+		"op": "issue", "id": id, "epoch": strconv.Itoa(epoch), "admission": admission,
+	}})
+}
+
+// LeaseResume records an epoch bump from a resume handshake.
+func (w *walSink) LeaseResume(id string, epoch int) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wlease", Params: map[string]string{
+		"op": "resume", "id": id, "epoch": strconv.Itoa(epoch),
+	}})
+}
+
+// LeaseDrop records a purge: the session and its requests leave the mirror.
+func (w *walSink) LeaseDrop(id string) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wlease", Params: map[string]string{
+		"op": "drop", "id": id,
+	}})
+}
+
+// Admit records a durable request's admission: the original client command
+// plus the scheduler-side request ID the bridge routed it under.
+func (w *walSink) Admit(sessID string, clientReq, runtimeID uint64, cmd comm.Message) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wadmit", ReqID: clientReq, Params: map[string]string{
+		"sess": sessID, "rid": strconv.FormatUint(runtimeID, 10),
+	}, Payload: comm.Encode(cmd)})
+}
+
+// Frame records one stamped outbound frame retained for replay.
+func (w *walSink) Frame(sessID string, clientReq uint64, f comm.Message) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wframe", ReqID: clientReq, Params: map[string]string{
+		"sess": sessID,
+	}, Payload: comm.Encode(f)})
+}
+
+// Retire records that the client fully consumed a finished request.
+func (w *walSink) Retire(sessID string, clientReq uint64) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wretire", ReqID: clientReq, Params: map[string]string{
+		"sess": sessID,
+	}})
+}
+
+// ---- scheduler-side hooks (core.WALSink; called under scheduler.mu) ----
+
+// Dispatch records that a request started (or restarted) an attempt with a
+// group of want ranks. Non-durable requests — anything the bridge never
+// admitted — are not in byRuntime and stay out of the log.
+func (w *walSink) Dispatch(reqID uint64, attempt, want int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.byRuntime[reqID] == nil {
+		return
+	}
+	m := comm.Message{Kind: "wdispatch", ReqID: reqID, Params: map[string]string{
+		"attempt": strconv.Itoa(attempt), "want": strconv.Itoa(want),
+	}}
+	w.applyLocked(m)
+	w.appendLocked(m)
+}
+
+// JournalSpan records one rank's declared work span.
+func (w *walSink) JournalSpan(reqID uint64, attempt, rank int, items []int, streamed bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.byRuntime[reqID] == nil {
+		return
+	}
+	st := "0"
+	if streamed {
+		st = "1"
+	}
+	m := comm.Message{Kind: "wspan", ReqID: reqID, Params: map[string]string{
+		"attempt": strconv.Itoa(attempt), "rank": strconv.Itoa(rank),
+		"span": comm.EncodeIntList(items), "streamed": st,
+	}}
+	w.applyLocked(m)
+	w.appendLocked(m)
+}
+
+// JournalMark records one completed span item and how many block-tagged
+// frames its executor streamed for it.
+func (w *walSink) JournalMark(reqID uint64, attempt, rank, item, bframes int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.byRuntime[reqID] == nil {
+		return
+	}
+	m := comm.Message{Kind: "wmark", ReqID: reqID, Params: map[string]string{
+		"attempt": strconv.Itoa(attempt), "rank": strconv.Itoa(rank),
+		"item": strconv.Itoa(item), "bframes": strconv.Itoa(bframes),
+	}}
+	w.applyLocked(m)
+	w.appendLocked(m)
+}
+
+// MemoStore records a completed memo entity's canonical replay log.
+func (w *walSink) MemoStore(key, dataset string, step int, log []comm.Message) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wmemo", Params: map[string]string{
+		"key": key, "dataset": dataset, "step": strconv.Itoa(step),
+	}, Payload: comm.EncodeBatch(log)})
+}
+
+// MemoInvalidate records a dependency invalidation of memo entries.
+func (w *walSink) MemoInvalidate(dataset string, step int) {
+	if w == nil {
+		return
+	}
+	w.record(comm.Message{Kind: "wmemoinval", Params: map[string]string{
+		"dataset": dataset, "step": strconv.Itoa(step),
+	}})
+}
+
+// ---- mirror application (shared by the live path and recovery replay) ----
+
+func (w *walSink) applyLocked(m comm.Message) {
+	st := w.state
+	switch m.Kind {
+	case "wlease":
+		id := m.Params["id"]
+		epoch := m.IntParam("epoch", 0)
+		switch m.Params["op"] {
+		case "issue":
+			if old, ok := st.Leases[id]; !ok || epoch > old {
+				st.Leases[id] = epoch
+			}
+			sess := st.sessionFor(id)
+			if adm := m.Params["admission"]; adm != "" {
+				sess.Admission = adm
+			}
+			if epoch > sess.Epoch {
+				sess.Epoch = epoch
+			}
+			// Lease IDs are "sess-N": fold N into the counter so a restarted
+			// registry never re-issues a live ID.
+			if n, err := strconv.ParseUint(strings.TrimPrefix(id, "sess-"), 10, 64); err == nil && n > st.Counter {
+				st.Counter = n
+			}
+		case "resume":
+			if old, ok := st.Leases[id]; ok && epoch > old {
+				st.Leases[id] = epoch
+			}
+			if sess := st.Sessions[id]; sess != nil && epoch > sess.Epoch {
+				sess.Epoch = epoch
+			}
+		case "drop":
+			if sess := st.Sessions[id]; sess != nil {
+				for _, r := range sess.Reqs {
+					delete(w.byRuntime, r.RuntimeID)
+				}
+			}
+			delete(st.Leases, id)
+			delete(st.Sessions, id)
+		}
+	case "wadmit":
+		sess := st.Sessions[m.Params["sess"]]
+		if sess == nil {
+			return // lease record lost to the loss window; nothing to anchor to
+		}
+		r := sess.Reqs[m.ReqID]
+		if r == nil {
+			r = &walReq{ClientReq: m.ReqID, Cmd: m.Payload}
+			sess.Reqs[m.ReqID] = r
+		}
+		if rid, err := strconv.ParseUint(m.Params["rid"], 10, 64); err == nil && rid != 0 {
+			if r.RuntimeID != 0 {
+				delete(w.byRuntime, r.RuntimeID)
+			}
+			r.RuntimeID = rid
+			w.byRuntime[rid] = r
+		}
+	case "wframe":
+		r := w.reqOf(m)
+		if r == nil {
+			return
+		}
+		f, err := comm.Decode(m.Payload)
+		if err != nil {
+			return
+		}
+		sseq := f.IntParam("sseq", 0)
+		if sseq <= r.Sseq && len(r.Frames) > 0 {
+			return // a checkpoint already folded this frame in
+		}
+		if sseq > r.Sseq {
+			r.Sseq = sseq
+		}
+		r.Frames = append(r.Frames, m.Payload)
+		if f.Final {
+			r.Final = true
+		}
+	case "wretire":
+		sess := st.Sessions[m.Params["sess"]]
+		if sess == nil {
+			return
+		}
+		if r := sess.Reqs[m.ReqID]; r != nil {
+			delete(w.byRuntime, r.RuntimeID)
+			delete(sess.Reqs, m.ReqID)
+		}
+	case "wdispatch":
+		r := w.byRuntime[m.ReqID]
+		if r == nil {
+			return
+		}
+		attempt := m.IntParam("attempt", 0)
+		if attempt < r.Attempt {
+			return
+		}
+		if attempt > r.Attempt {
+			r.Attempt = attempt
+			r.Spans, r.Done = nil, nil // the new attempt re-declares from scratch
+		}
+		r.Want = m.IntParam("want", 0)
+	case "wspan":
+		r := w.byRuntime[m.ReqID]
+		if r == nil || m.IntParam("attempt", 0) != r.Attempt {
+			return
+		}
+		if r.Spans == nil {
+			r.Spans = map[int]*walSpan{}
+		}
+		rank := m.IntParam("rank", 0)
+		sp := r.Spans[rank]
+		if sp == nil {
+			sp = &walSpan{Streamed: true}
+			r.Spans[rank] = sp
+		}
+		sp.Items = unionInts(sp.Items, comm.ParseIntList(m.Params["span"]))
+		if m.Params["streamed"] != "1" {
+			sp.Streamed = false
+		}
+	case "wmark":
+		r := w.byRuntime[m.ReqID]
+		if r == nil || m.IntParam("attempt", 0) != r.Attempt {
+			return
+		}
+		item := m.IntParam("item", -1)
+		if item < 0 {
+			return
+		}
+		if r.Done == nil {
+			r.Done = map[int]int{}
+		}
+		if bf := m.IntParam("bframes", -1); bf > r.Done[item] || !hasKey(r.Done, item) {
+			r.Done[item] = bf
+		}
+	case "wmemo":
+		key := m.Params["key"]
+		if key == "" {
+			return
+		}
+		st.Memo[key] = &walMemo{
+			Dataset: m.Params["dataset"],
+			Step:    m.IntParam("step", 0),
+			Log:     m.Payload,
+		}
+	case "wmemoinval":
+		ds, step := m.Params["dataset"], m.IntParam("step", -1)
+		for k, e := range st.Memo {
+			if e.Dataset == ds && (step < 0 || e.Step == step) {
+				delete(st.Memo, k)
+			}
+		}
+	}
+}
+
+func (w *walSink) reqOf(m comm.Message) *walReq {
+	sess := w.state.Sessions[m.Params["sess"]]
+	if sess == nil {
+		return nil
+	}
+	return sess.Reqs[m.ReqID]
+}
+
+func hasKey(m map[int]int, k int) bool { _, ok := m[k]; return ok }
+
+// unionInts merges two item lists into a sorted, deduplicated one.
+func unionInts(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---- recovery ----
+
+// load rebuilds the mirror from a recovered checkpoint plus tail records.
+func (w *walSink) load(rec *wal.Recovered) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.state = newWALState()
+	w.byRuntime = map[uint64]*walReq{}
+	if rec.Checkpoint != nil {
+		st := newWALState()
+		if err := json.Unmarshal(rec.Checkpoint, st); err == nil {
+			w.state = st
+			w.normalizeLocked()
+		} else {
+			w.warnf("wal checkpoint unreadable, replaying records only: %v", err)
+		}
+	}
+	for _, raw := range rec.Records {
+		m, err := comm.Decode(raw)
+		if err != nil {
+			continue // a record CRC passed but the envelope didn't: skip it
+		}
+		w.applyLocked(m)
+	}
+}
+
+// normalizeLocked repairs nil maps from JSON decoding and rebuilds the
+// runtime-ID index.
+func (w *walSink) normalizeLocked() {
+	st := w.state
+	if st.Leases == nil {
+		st.Leases = map[string]int{}
+	}
+	if st.Sessions == nil {
+		st.Sessions = map[string]*walSession{}
+	}
+	if st.Memo == nil {
+		st.Memo = map[string]*walMemo{}
+	}
+	for _, sess := range st.Sessions {
+		if sess.Reqs == nil {
+			sess.Reqs = map[uint64]*walReq{}
+		}
+		for _, r := range sess.Reqs {
+			if r.RuntimeID != 0 {
+				w.byRuntime[r.RuntimeID] = r
+			}
+		}
+	}
+}
+
+// walPlan is one request crash recovery must re-admit.
+type walPlan struct {
+	sessID    string
+	admission string
+	clientReq uint64
+	cmd       []byte
+	span      []int
+	hasSpan   bool
+	attempt   int
+	rid       uint64 // assigned at re-admission time
+}
+
+// plans computes the re-admission set: every non-final request, with — when
+// the journals prove full coverage — exactly the items not yet streamed.
+func (w *walSink) plans() []walPlan {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []walPlan
+	sids := make([]string, 0, len(w.state.Sessions))
+	for id := range w.state.Sessions {
+		sids = append(sids, id)
+	}
+	sort.Strings(sids)
+	for _, sid := range sids {
+		sess := w.state.Sessions[sid]
+		crs := make([]uint64, 0, len(sess.Reqs))
+		for cr := range sess.Reqs {
+			crs = append(crs, cr)
+		}
+		sort.Slice(crs, func(i, j int) bool { return crs[i] < crs[j] })
+		for _, cr := range crs {
+			r := sess.Reqs[cr]
+			if r.Final {
+				continue // finished: retained frames alone serve any resume
+			}
+			p := walPlan{sessID: sid, admission: sess.Admission, clientReq: cr,
+				cmd: r.Cmd, attempt: r.Attempt}
+			if span, ok := unfinishedSpan(r); ok {
+				// The journal covers the whole work set: re-dispatch only the
+				// blocks not provably streamed; the attempt continues so the
+				// client keeps its already-received frames.
+				p.span, p.hasSpan = span, true
+			} else if r.Sseq > 0 {
+				// No trustworthy journal but frames already went out: restart
+				// the whole request one attempt up so the client discards the
+				// old attempt's frames wholesale and reassembles from scratch.
+				p.attempt = r.Attempt + 1
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// unfinishedSpan reports the journal-proven not-yet-streamed items of a
+// request, and whether the journals can be trusted at all: every rank of the
+// dispatched group must have declared a streamed span (a gathered span's
+// results died with the process; a missing declaration hides unknown work).
+func unfinishedSpan(r *walReq) ([]int, bool) {
+	if r.Want <= 0 {
+		return nil, false
+	}
+	var all []int
+	for rank := 0; rank < r.Want; rank++ {
+		sp := r.Spans[rank]
+		if sp == nil || !sp.Streamed {
+			return nil, false
+		}
+		all = unionInts(all, sp.Items)
+	}
+	// A completed item is replayable from retained frames only when every
+	// block-tagged frame it streamed survived in the log (the wmark's bframes
+	// count says how many there were).
+	counts := map[int]int{}
+	for _, raw := range r.Frames {
+		f, err := comm.Decode(raw)
+		if err != nil {
+			continue
+		}
+		if f.IntParam("attempt", -1) != r.Attempt {
+			continue
+		}
+		if blk := f.IntParam("block", -1); blk >= 0 {
+			counts[blk]++
+		}
+	}
+	var miss []int
+	for _, it := range all {
+		bf, done := r.Done[it]
+		if !done || bf < 0 || counts[it] < bf {
+			miss = append(miss, it)
+		}
+	}
+	return miss, true
+}
+
+// rebind points a mirror request at its post-restart scheduler request ID, so
+// the new incarnation's dispatch/span/mark records land on the same entry.
+func (w *walSink) rebind(sessID string, clientReq, rid uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sess := w.state.Sessions[sessID]
+	if sess == nil {
+		return
+	}
+	r := sess.Reqs[clientReq]
+	if r == nil {
+		return
+	}
+	if r.RuntimeID != 0 {
+		delete(w.byRuntime, r.RuntimeID)
+	}
+	r.RuntimeID = rid
+	w.byRuntime[rid] = r
+}
+
+// open attaches the write side of the WAL directory and cuts an immediate
+// checkpoint, so recovery replay is never needed twice for the same records.
+func (w *walSink) open(policy wal.Policy, hooks wal.FaultHooks) error {
+	l, err := wal.Open(w.dir, wal.Options{
+		Policy: policy, SegmentBytes: w.segBytes, Hooks: hooks,
+	})
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.log = l
+	return w.checkpointLocked()
+}
+
+// restoreWAL rebuilds the bridge's lease registry, sessions and retention
+// buffers from the recovered mirror. Runtime request IDs are rebound later,
+// one recovered plan at a time.
+func (b *sessionBridge) restoreWAL(w *walSink) {
+	w.mu.Lock()
+	st := w.state
+	snap := session.RegistrySnapshot{Counter: st.Counter}
+	ttl := b.reg.TTL()
+	lids := make([]string, 0, len(st.Leases))
+	for id := range st.Leases {
+		lids = append(lids, id)
+	}
+	sort.Strings(lids)
+	for _, id := range lids {
+		snap.Leases = append(snap.Leases, session.LeaseRecord{
+			ID: id, Epoch: st.Leases[id], RemainingNS: ttl.Nanoseconds(),
+		})
+	}
+	type restored struct {
+		id   string
+		sess *walSession
+	}
+	var all []restored
+	for id, sess := range st.Sessions {
+		all = append(all, restored{id, sess})
+	}
+	w.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	reg := session.RestoreRegistry(b.sys.Clock, ttl, snap)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reg = reg
+	for _, rs := range all {
+		sess := &liveSession{
+			id:        rs.id,
+			epoch:     rs.sess.Epoch,
+			admission: rs.sess.Admission,
+			durable:   true,
+			reqs:      map[uint64]*liveReq{},
+		}
+		for cr, wr := range rs.sess.Reqs {
+			lr := &liveReq{
+				sess:      sess,
+				clientReq: cr,
+				sseq:      wr.Sseq + walSseqGap,
+				final:     wr.Final,
+				unacked:   map[int]int{},
+				selfAcked: wr.Sseq + walSseqGap, // no live flow state to credit after a restart
+			}
+			for _, raw := range wr.Frames {
+				f, err := comm.Decode(raw)
+				if err != nil {
+					continue
+				}
+				lr.frames = append(lr.frames, f)
+			}
+			sess.reqs[cr] = lr
+		}
+		b.sessions[sess.id] = sess
+	}
+}
+
+// RecoverWAL restores control-plane state from the WAL directory and starts
+// the system: recover checkpoint + tail (tolerating a torn final record),
+// rebuild the session registry and retained streams, re-insert memo entries,
+// cut a fresh checkpoint, then re-admit every unfinished request — with, when
+// its journals survived, only the blocks not yet streamed to the client. A
+// WAL-less system (no Options.WALDir) returns nil immediately. Call it on a
+// fresh System, before Serve; it replaces Start.
+func (s *System) RecoverWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	if s.started {
+		return fmt.Errorf("viracocha: RecoverWAL after Start")
+	}
+	policy, err := wal.ParsePolicy(s.opts.WALFsync)
+	if err != nil {
+		return err
+	}
+	rec, err := wal.Recover(s.opts.WALDir)
+	if err != nil {
+		return err
+	}
+	rt := s.Runtime
+	if rec.Torn {
+		rt.Trace.Eventf(rt.Clock.Now(), "wal",
+			"torn tail in %s at offset %d: truncated, replaying %d records", rec.TornPath, rec.TornOffset, len(rec.Records))
+	}
+	w := s.wal
+	w.load(rec)
+	b := s.bridge()
+	b.restoreWAL(w)
+	// Rebind every unfinished request to a fresh runtime ID and route it,
+	// before the post-recovery checkpoint records the new bindings.
+	plans := w.plans()
+	admitted := plans[:0]
+	for _, p := range plans {
+		b.mu.Lock()
+		sess := b.sessions[p.sessID]
+		var lr *liveReq
+		if sess != nil {
+			lr = sess.reqs[p.clientReq]
+		}
+		if lr == nil {
+			b.mu.Unlock()
+			continue
+		}
+		p.rid = rt.NextReqID()
+		lr.runtimeID = p.rid
+		b.routes[p.rid] = lr
+		b.mu.Unlock()
+		w.rebind(p.sessID, p.clientReq, p.rid)
+		admitted = append(admitted, p)
+	}
+	if err := w.open(policy, rt.FaultInjector()); err != nil {
+		return err
+	}
+	// Re-seed the memo cache before workers start so the first request after
+	// a restart can already hit.
+	w.mu.Lock()
+	memos := make(map[string]*walMemo, len(w.state.Memo))
+	for k, e := range w.state.Memo {
+		memos[k] = e
+	}
+	w.mu.Unlock()
+	for key, e := range memos {
+		msgs, err := comm.DecodeBatch(e.Log)
+		if err != nil {
+			rt.Trace.Eventf(rt.Clock.Now(), "wal", "memo %s: corrupt replay log dropped: %v", key, err)
+			continue
+		}
+		rt.Sched.RestoreMemo(key, e.Dataset, e.Step, msgs)
+	}
+	s.Start()
+	b.start()
+	for _, p := range admitted {
+		cmd, err := comm.Decode(p.cmd)
+		if err != nil {
+			rt.Trace.Eventf(rt.Clock.Now(), "wal",
+				"session %s req %d: corrupt admitted command dropped: %v", p.sessID, p.clientReq, err)
+			continue
+		}
+		fwd := cmd
+		fwd.ReqID = p.rid
+		fwd.Params = make(map[string]string, len(cmd.Params)+2)
+		for k, v := range cmd.Params {
+			fwd.Params[k] = v
+		}
+		fwd.Params["client"] = b.name
+		fwd.Params["session"] = p.admission
+		if !rt.Sched.AdmitRecovered(fwd, p.span, p.hasSpan, p.attempt) {
+			rt.Trace.Eventf(rt.Clock.Now(), "wal",
+				"session %s req %d: re-admission rejected", p.sessID, p.clientReq)
+		}
+	}
+	rt.Trace.Eventf(rt.Clock.Now(), "wal",
+		"recovered: %d sessions, %d requests re-admitted, %d memo entries", len(b.sessions), len(admitted), len(memos))
+	return nil
+}
+
+// Kill tears the whole system down as a crash would: the WAL stops first (so
+// post-mortem activity cannot reach the disk), client connections drop
+// without detach courtesies, workers crash, the scheduler dies. What survives
+// is exactly what the WAL's fsync policy had already made durable.
+func (s *System) Kill() {
+	if s.wal != nil {
+		s.wal.kill()
+	}
+	s.bmu.Lock()
+	br := s.br
+	s.bmu.Unlock()
+	if br != nil {
+		var conns []*comm.Conn
+		br.mu.Lock()
+		for _, sess := range br.sessions {
+			if sess.conn != nil {
+				conns = append(conns, sess.conn)
+				sess.conn = nil
+				sess.connGen++ // fence the reader's cleanup: a crash credits nothing
+			}
+		}
+		br.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		br.ep.Close()
+	}
+	s.Runtime.Kill()
+}
+
+// CloseWAL checkpoints and closes the write-ahead log (the graceful-shutdown
+// counterpart of Kill): a subsequent restart recovers from the checkpoint
+// alone. Safe on a WAL-less system.
+func (s *System) CloseWAL() error { return s.wal.close() }
+
+// WALErr reports the first write-ahead-log append or checkpoint failure, if
+// any: logging is best-effort after one (the mirror stays correct, but
+// durability is degraded) and operators should want to know.
+func (s *System) WALErr() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return s.wal.err
+}
